@@ -1,0 +1,51 @@
+"""Ablation — the four §4.2.5 optimisations, disabled one at a time.
+
+Not a paper table, but DESIGN.md calls these design choices out; this bench
+quantifies each one's contribution to InPlaceTP's downtime on a loaded host
+(6 VMs, 1 GB each, M1, Xen->KVM).
+"""
+
+from repro.bench.report import format_table, print_experiment
+from repro.bench.runner import inplace_breakdown
+from repro.core.optimizations import OptimizationConfig
+from repro.hw.machine import M1_SPEC
+from repro.hypervisors.base import HypervisorKind
+
+VM_COUNT = 6
+
+
+def run():
+    configs = [("all enabled", OptimizationConfig())]
+    for name in ("prepare_ahead", "parallel", "huge_pages",
+                 "early_restoration"):
+        configs.append((f"-{name}", OptimizationConfig().without(name)))
+    configs.append(("all disabled", OptimizationConfig.all_disabled()))
+
+    rows = []
+    baseline = None
+    for label, config in configs:
+        report = inplace_breakdown(M1_SPEC, HypervisorKind.KVM,
+                                   vm_count=VM_COUNT, optimizations=config)
+        if baseline is None:
+            baseline = report.downtime_s
+        rows.append([
+            label, report.downtime_s,
+            f"{report.downtime_s / baseline:.2f}x",
+            report.pram_s, report.pram_metadata_bytes / 1024,
+        ])
+    return rows
+
+
+HEADERS = ["configuration", "downtime (s)", "vs baseline", "PRAM (s)",
+           "PRAM metadata (KiB)"]
+
+
+def test_ablation_optimizations(benchmark):
+    rows = benchmark(run)
+    print_experiment("Ablation", "InPlaceTP optimisations (6 VMs, M1)",
+                     format_table(HEADERS, rows))
+
+
+if __name__ == "__main__":
+    print_experiment("Ablation", "InPlaceTP optimisations (6 VMs, M1)",
+                     format_table(HEADERS, run()))

@@ -1,0 +1,88 @@
+"""Fig. 14 — memory overhead: PRAM structures and UISR formats.
+
+Both series are *measured* from the real data structures.  Paper anchors:
+PRAM 16 KB (one 1 GB VM) -> 60 KB (12 GB VM), 148 KB for 12x1 GB VMs; UISR
+5 KB (1 vCPU) -> 38 KB (10 vCPUs); total 21-98 KB per VM, returned after
+the transplant.
+"""
+
+from repro.bench.report import format_table, print_experiment
+from repro.core.pram import PRAMFilesystem
+from repro.core.uisr.codec import uisr_size
+from repro.guest.image import GuestImage
+from repro.hw.memory import PAGE_2M, PhysicalMemory
+
+GIB = 1024 ** 3
+
+
+def pram_size_for_memory(guest_gib):
+    memory = PhysicalMemory(16 * GIB)
+    image = GuestImage(memory, guest_gib * GIB, page_size=PAGE_2M)
+    fs = PRAMFilesystem(memory)
+    fs.add_vm_file("vm0", image.mappings(), page_size=PAGE_2M)
+    return fs.metadata_bytes()
+
+
+def pram_size_for_vms(vm_count):
+    memory = PhysicalMemory(16 * GIB)
+    fs = PRAMFilesystem(memory)
+    for i in range(vm_count):
+        image = GuestImage(memory, GIB, page_size=PAGE_2M)
+        fs.add_vm_file(f"vm{i}", image.mappings(), page_size=PAGE_2M)
+    return fs.metadata_bytes()
+
+
+def uisr_size_for_vcpus(vcpus):
+    from repro.core.uisr import (
+        UISRMemoryMap,
+        UISRPlatform,
+        UISRVCpu,
+        UISRVMState,
+    )
+    from repro.core.uisr.format import UISR_VERSION
+    from repro.guest.devices import make_default_platform
+    from repro.guest.vcpu import make_boot_vcpu
+
+    state = UISRVMState(
+        version=UISR_VERSION,
+        vm_name="vm0",
+        vcpu_count=vcpus,
+        memory_bytes=GIB,
+        source_hypervisor="xen",
+        vcpus=[UISRVCpu(make_boot_vcpu(i)) for i in range(vcpus)],
+        platform=UISRPlatform(make_default_platform(vcpus)),
+        memory_map=UISRMemoryMap(page_size=PAGE_2M, total_bytes=GIB,
+                                 pram_file="vm0"),
+    )
+    return uisr_size(state)
+
+
+def run():
+    rows = []
+    for gib in (1, 2, 4, 6, 8, 10, 12):
+        rows.append(["PRAM vs memory", f"{gib} GiB",
+                     pram_size_for_memory(gib) / 1024,
+                     {1: 16, 12: 60}.get(gib, "-")])
+    for count in (2, 4, 6, 8, 10, 12):
+        rows.append(["PRAM vs #VMs", f"{count} VMs",
+                     pram_size_for_vms(count) / 1024,
+                     {12: 148}.get(count, "-")])
+    for vcpus in (1, 2, 4, 6, 8, 10):
+        rows.append(["UISR vs vCPUs", f"{vcpus} vCPU",
+                     uisr_size_for_vcpus(vcpus) / 1024,
+                     {1: 5, 10: 38}.get(vcpus, "-")])
+    return rows
+
+
+HEADERS = ["series", "x", "measured (KiB)", "paper (KB)"]
+
+
+def test_fig14_memory_overhead(benchmark):
+    rows = benchmark(run)
+    print_experiment("Fig. 14", "PRAM + UISR memory overhead (measured)",
+                     format_table(HEADERS, rows))
+
+
+if __name__ == "__main__":
+    print_experiment("Fig. 14", "PRAM + UISR memory overhead (measured)",
+                     format_table(HEADERS, run()))

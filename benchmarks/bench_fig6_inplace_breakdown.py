@@ -1,0 +1,45 @@
+"""Fig. 6 — InPlaceTP time breakdown, Xen->KVM, single 1 vCPU / 1 GB VM.
+
+Paper anchors: M1 total 2.15 s (PRAM 0.45 / Translation 0.08 / Reboot 1.52 /
+Restoration 0.12), downtime 1.7 s, +6.6 s network; M2 total 3.56 s,
+downtime 3.01 s, +2.3 s network.
+"""
+
+from repro.bench.report import format_table, print_experiment
+from repro.bench.runner import inplace_breakdown
+from repro.hw.machine import M1_SPEC, M2_SPEC
+from repro.hypervisors.base import HypervisorKind
+
+PAPER = {
+    "M1": {"PRAM": 0.45, "Translation": 0.08, "Reboot": 1.52,
+           "Restoration": 0.12, "Network": 6.6, "downtime": 1.7},
+    "M2": {"PRAM": 0.5, "Translation": 0.24, "Reboot": 2.40,
+           "Restoration": 0.34, "Network": 2.3, "downtime": 3.01},
+}
+
+
+def run():
+    rows = []
+    for spec in (M1_SPEC, M2_SPEC):
+        report = inplace_breakdown(spec, HypervisorKind.KVM)
+        paper = PAPER[spec.name]
+        for phase, measured in report.phase_breakdown.items():
+            rows.append([spec.name, phase, measured, paper[phase]])
+        rows.append([spec.name, "downtime", report.downtime_s,
+                     paper["downtime"]])
+    return rows
+
+
+def test_fig6_inplace_breakdown(benchmark):
+    rows = benchmark(run)
+    print_experiment(
+        "Fig. 6", "InPlaceTP time breakdown Xen->KVM (1 vCPU, 1 GB)",
+        format_table(["machine", "phase", "measured (s)", "paper (s)"], rows),
+    )
+
+
+if __name__ == "__main__":
+    print_experiment(
+        "Fig. 6", "InPlaceTP time breakdown Xen->KVM (1 vCPU, 1 GB)",
+        format_table(["machine", "phase", "measured (s)", "paper (s)"], run()),
+    )

@@ -1,0 +1,53 @@
+"""Fig. 8 — downtime in MigrationTP (Xen->KVM) vs the Xen->Xen baseline.
+
+Sweeps vCPUs, memory size and concurrent VM count.  Shapes to hold:
+MigrationTP downtime is milliseconds and flat; Xen's grows with vCPUs and,
+with many concurrent VMs, spreads widely because the receive side
+serializes activations (the paper's box plots).
+"""
+
+import statistics
+
+from repro.bench.report import format_table, print_experiment
+from repro.bench.runner import migration_sweep
+from repro.hw.machine import M1_SPEC
+from repro.hypervisors.base import HypervisorKind
+
+VCPUS = [1, 2, 4, 6, 8, 10]
+MEMORY = [2.0, 4.0, 6.0, 8.0, 10.0, 12.0]
+VM_COUNTS = [2, 4, 6, 8, 10, 12]
+
+
+def run():
+    xen = migration_sweep(M1_SPEC, HypervisorKind.XEN, VCPUS, MEMORY,
+                          VM_COUNTS)
+    hypertp = migration_sweep(M1_SPEC, HypervisorKind.KVM, VCPUS, MEMORY,
+                              VM_COUNTS)
+    rows = []
+    for axis, points in (("vcpus", VCPUS), ("memory_gib", MEMORY),
+                         ("vm_count", VM_COUNTS)):
+        for point, xen_reports, tp_reports in zip(points, xen[axis],
+                                                  hypertp[axis]):
+            xen_ms = [r.downtime_s * 1000 for r in xen_reports]
+            tp_ms = [r.downtime_s * 1000 for r in tp_reports]
+            rows.append([
+                axis, point,
+                statistics.median(xen_ms), max(xen_ms),
+                statistics.median(tp_ms), max(tp_ms),
+            ])
+    return rows
+
+
+HEADERS = ["sweep", "x", "Xen med (ms)", "Xen max (ms)",
+           "HyperTP med (ms)", "HyperTP max (ms)"]
+
+
+def test_fig8_migration_downtime(benchmark):
+    rows = benchmark(run)
+    print_experiment("Fig. 8", "migration downtime: Xen vs MigrationTP",
+                     format_table(HEADERS, rows))
+
+
+if __name__ == "__main__":
+    print_experiment("Fig. 8", "migration downtime: Xen vs MigrationTP",
+                     format_table(HEADERS, run()))

@@ -1,0 +1,70 @@
+"""Extension — the repertoire's micro-reboot cost per target.
+
+Extends Fig. 6/10 across the whole 3-member pool: for each transplant
+direction, the reboot time and resulting downtime on M1 (single 1 vCPU /
+1 GB VM).  The ordering NOVA < KVM << Xen quantifies the structural rule
+of thumb: prefer transplanting *toward* the hypervisor with the shortest
+boot path, and reserve the expensive direction for the transplant back.
+"""
+
+import itertools
+
+from repro.bench.report import format_table, print_experiment
+from repro.guest.devices import make_default_platform
+from repro.guest.vm import VMConfig
+from repro.hw.machine import M1_SPEC, Machine
+from repro.hypervisors import make_hypervisor
+from repro.hypervisors.base import HypervisorKind
+from repro.hypervisors.kvm.formats import KVM_IOAPIC_PINS
+from repro.hypervisors.nova.formats import NOVA_IOAPIC_PINS
+from repro.guest.devices import XEN_IOAPIC_PINS
+from repro.sim.clock import SimClock
+from repro.core.transplant import HyperTP
+
+GIB = 1024 ** 3
+PINS = {
+    HypervisorKind.XEN: XEN_IOAPIC_PINS,
+    HypervisorKind.KVM: KVM_IOAPIC_PINS,
+    HypervisorKind.NOVA: NOVA_IOAPIC_PINS,
+}
+
+
+def host_running(kind):
+    machine = Machine(M1_SPEC)
+    hypervisor = make_hypervisor(kind)
+    hypervisor.boot(machine)
+    domain = hypervisor.create_vm(VMConfig("vm0", vcpus=1,
+                                           memory_bytes=GIB))
+    domain.vm.platform = make_default_platform(1, ioapic_pins=PINS[kind])
+    return machine
+
+
+def run():
+    rows = []
+    for source, target in itertools.permutations(HypervisorKind, 2):
+        machine = host_running(source)
+        report = HyperTP().inplace(machine, target, SimClock())
+        rows.append([
+            f"{source.value} -> {target.value}",
+            report.reboot_s,
+            report.downtime_s,
+            report.total_s,
+        ])
+    rows.sort(key=lambda r: r[2])
+    return rows
+
+
+HEADERS = ["direction", "reboot (s)", "downtime (s)", "total (s)"]
+
+
+def test_repertoire_boot(benchmark):
+    rows = benchmark(run)
+    print_experiment("Extension",
+                     "micro-reboot cost per transplant direction (M1)",
+                     format_table(HEADERS, rows))
+
+
+if __name__ == "__main__":
+    print_experiment("Extension",
+                     "micro-reboot cost per transplant direction (M1)",
+                     format_table(HEADERS, run()))

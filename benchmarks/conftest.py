@@ -1,0 +1,8 @@
+"""pytest-benchmark configuration for the experiment harness."""
+
+def pytest_benchmark_update_machine_info(config, machine_info):
+    machine_info["note"] = (
+        "All benchmarked experiments run on simulated time; wall-clock "
+        "numbers measure the simulator, figures/tables print simulated "
+        "seconds matching the paper's units."
+    )

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Quickstart: transplant one host from Xen to KVM and back.
+
+Builds a simulated M1 machine running Xen with two guests, runs an
+InPlaceTP to KVM (the paper's fast direction: ~1.7 s of downtime for a
+small VM), verifies the guests survived bit-identically, and transplants
+back to Xen once the "patch" ships.
+"""
+
+from repro import (
+    HyperTP,
+    HypervisorKind,
+    M1_SPEC,
+    Machine,
+    SimClock,
+    VMConfig,
+    XenHypervisor,
+)
+from repro.core.memsep import transplant_work_summary
+
+GIB = 1024 ** 3
+
+
+def main():
+    # A physical machine with Xen and two small guests.
+    machine = Machine(M1_SPEC, name="demo-host")
+    xen = XenHypervisor()
+    xen.boot(machine)
+    xen.create_vm(VMConfig("web", vcpus=1, memory_bytes=GIB))
+    xen.create_vm(VMConfig("db", vcpus=2, memory_bytes=2 * GIB))
+    digests = {d.vm.name: d.vm.image.content_digest()
+               for d in xen.domains.values()}
+
+    print("Memory separation on the Xen host (Fig. 2):")
+    for line in transplant_work_summary(xen):
+        print("  " + line)
+
+    # Transplant to KVM.
+    hypertp = HyperTP()
+    clock = SimClock()
+    report = hypertp.inplace(machine, HypervisorKind.KVM, clock)
+
+    print(f"\nInPlaceTP Xen->KVM on {report.machine}:")
+    for phase, seconds in report.phase_breakdown.items():
+        print(f"  {phase:>12}: {seconds:6.3f} s")
+    print(f"  {'downtime':>12}: {report.downtime_s:6.3f} s "
+          f"(paper: ~1.7 s for 1 vCPU / 1 GB)")
+    print(f"  PRAM metadata: {report.pram_metadata_bytes / 1024:.0f} KiB, "
+          f"UISR: {report.uisr_bytes / 1024:.1f} KiB")
+
+    survived = all(
+        d.vm.image.content_digest() == digests[d.vm.name]
+        for d in machine.hypervisor.domains.values()
+    )
+    print(f"  guests bit-identical: {survived}")
+
+    # The patch shipped — go back.
+    back = hypertp.inplace(machine, HypervisorKind.XEN, clock)
+    print(f"\nInPlaceTP KVM->Xen (two kernels to boot): "
+          f"downtime {back.downtime_s:.2f} s (paper: ~7.8 s)")
+    print(f"Simulated elapsed time overall: {clock.now:.1f} s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+"""HyperTP reproduction — mitigating vulnerability windows with hypervisor
+transplant (EuroSys 2021).
+
+The public API re-exports the pieces a downstream user needs:
+
+* build simulated hosts (:mod:`repro.hw`, :mod:`repro.hypervisors`) and VMs
+  (:mod:`repro.guest`);
+* transplant them with :class:`HyperTP` (InPlaceTP / MigrationTP);
+* reason about vulnerabilities with :mod:`repro.vulndb`;
+* orchestrate fleets with :mod:`repro.orchestrator` and clusters with
+  :mod:`repro.cluster`;
+* replay the paper's workloads with :mod:`repro.workloads`.
+
+Quickstart::
+
+    from repro import (HyperTP, HypervisorKind, Machine, M1_SPEC,
+                       VMConfig, XenHypervisor, SimClock)
+
+    machine = Machine(M1_SPEC)
+    xen = XenHypervisor()
+    xen.boot(machine)
+    xen.create_vm(VMConfig("vm0", vcpus=1))
+    report = HyperTP().inplace(machine, HypervisorKind.KVM, SimClock())
+    print(report.downtime_s)  # ~1.7 s on M1, as in the paper
+"""
+
+from repro.errors import (
+    ReproError,
+    TransplantError,
+    MigrationError,
+    NoSafeHypervisorError,
+)
+from repro.sim import SimClock, Engine
+from repro.hw import Machine, MachineSpec, M1_SPEC, M2_SPEC, CLUSTER_NODE_SPEC, Fabric
+from repro.guest import VMConfig, VirtualMachine, VMState
+from repro.hypervisors import (
+    Hypervisor,
+    HypervisorKind,
+    XenHypervisor,
+    KVMHypervisor,
+    make_hypervisor,
+)
+from repro.core import (
+    HyperTP,
+    TransplantReport,
+    InPlaceTP,
+    InPlaceReport,
+    MigrationTP,
+    LiveMigration,
+    MigrationReport,
+    OptimizationConfig,
+    CostModel,
+    DEFAULT_COST_MODEL,
+)
+from repro.vulndb import (
+    load_default_database,
+    TransplantAdvisor,
+    TransplantAdvice,
+    Severity,
+)
+from repro.orchestrator import NovaCompute, DatacenterAPI
+from repro.cluster import UpgradeCampaign
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "TransplantError",
+    "MigrationError",
+    "NoSafeHypervisorError",
+    "SimClock",
+    "Engine",
+    "Machine",
+    "MachineSpec",
+    "M1_SPEC",
+    "M2_SPEC",
+    "CLUSTER_NODE_SPEC",
+    "Fabric",
+    "VMConfig",
+    "VirtualMachine",
+    "VMState",
+    "Hypervisor",
+    "HypervisorKind",
+    "XenHypervisor",
+    "KVMHypervisor",
+    "make_hypervisor",
+    "HyperTP",
+    "TransplantReport",
+    "InPlaceTP",
+    "InPlaceReport",
+    "MigrationTP",
+    "LiveMigration",
+    "MigrationReport",
+    "OptimizationConfig",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "load_default_database",
+    "TransplantAdvisor",
+    "TransplantAdvice",
+    "Severity",
+    "NovaCompute",
+    "DatacenterAPI",
+    "UpgradeCampaign",
+    "__version__",
+]

@@ -1,0 +1,23 @@
+"""Benchmark-harness utilities: experiment runners and table formatting."""
+
+from repro.bench.report import format_table, format_series, print_experiment
+from repro.bench.runner import (
+    inplace_breakdown,
+    inplace_sweep,
+    migration_sweep,
+    make_xen_host,
+    make_kvm_host,
+    make_host_pair,
+)
+
+__all__ = [
+    "format_table",
+    "format_series",
+    "print_experiment",
+    "inplace_breakdown",
+    "inplace_sweep",
+    "migration_sweep",
+    "make_xen_host",
+    "make_kvm_host",
+    "make_host_pair",
+]

@@ -1,0 +1,55 @@
+"""Plain-text table/series rendering for the benchmark harness.
+
+Every ``benchmarks/bench_*`` file prints the rows or series the paper's
+corresponding table/figure reports, via these helpers, so the regenerated
+artifacts are easy to eyeball against the original.
+"""
+
+from typing import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str = "") -> str:
+    """Render an aligned text table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence[float], ys: Sequence[float],
+                  x_label: str = "x", y_label: str = "y") -> str:
+    """Render a (figure) series as aligned x/y columns."""
+    rows = [(x, y) for x, y in zip(xs, ys)]
+    return format_table([x_label, y_label], rows, title=name)
+
+
+def print_experiment(exp_id: str, description: str, body: str) -> None:
+    """Uniform experiment banner + body used by every bench file."""
+    banner = f"=== {exp_id}: {description} ==="
+    print()
+    print(banner)
+    print(body)
+    print("=" * len(banner))
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 100:
+            return f"{cell:.1f}"
+        if abs(cell) >= 1:
+            return f"{cell:.2f}"
+        return f"{cell:.4f}"
+    return str(cell)

@@ -1,0 +1,278 @@
+"""Command-line interface.
+
+``hypertp`` exposes the library's main entry points for quick exploration:
+
+* ``hypertp inplace``  — run an InPlaceTP on a simulated host, print Fig. 6
+  style phase timings.
+* ``hypertp migrate``  — run a MigrationTP (or Xen->Xen baseline), print
+  Table 4 style numbers.
+* ``hypertp advise``   — ask the vulnerability advisor about a CVE.
+* ``hypertp vulns``    — print Table 1 from the embedded dataset.
+* ``hypertp cluster``  — run the Fig. 13 cluster-upgrade sweep.
+* ``hypertp tcb``      — print the §4.4 TCB accounting.
+"""
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.hw.machine import CLUSTER_NODE_SPEC, M1_SPEC, M2_SPEC
+from repro.hypervisors.base import HypervisorKind
+
+_SPECS = {"M1": M1_SPEC, "M2": M2_SPEC, "cluster": CLUSTER_NODE_SPEC}
+
+
+def _kind(value: str) -> HypervisorKind:
+    try:
+        return HypervisorKind(value.lower())
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"unknown hypervisor {value!r}; pick from "
+            f"{[k.value for k in HypervisorKind]}"
+        )
+
+
+def _spec(value: str):
+    try:
+        return _SPECS[value]
+    except KeyError:
+        raise argparse.ArgumentTypeError(
+            f"unknown machine {value!r}; pick from {sorted(_SPECS)}"
+        )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hypertp",
+        description="HyperTP (EuroSys 2021) reproduction — simulated "
+                    "hypervisor transplant",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    inplace = sub.add_parser("inplace", help="run an InPlaceTP")
+    inplace.add_argument("--machine", type=_spec, default=M1_SPEC)
+    inplace.add_argument("--source", type=_kind,
+                         default=HypervisorKind.XEN)
+    inplace.add_argument("--target", type=_kind,
+                         default=HypervisorKind.KVM)
+    inplace.add_argument("--vms", type=int, default=1)
+    inplace.add_argument("--vcpus", type=int, default=1)
+    inplace.add_argument("--memory-gib", type=float, default=1.0)
+    inplace.add_argument("--no-huge-pages", action="store_true")
+    inplace.add_argument("--no-parallel", action="store_true")
+    inplace.add_argument("--no-prepare-ahead", action="store_true")
+    inplace.add_argument("--trace", metavar="FILE",
+                         help="write a chrome://tracing JSON timeline")
+
+    migrate = sub.add_parser("migrate", help="run a (heterogeneous) "
+                                             "live migration")
+    migrate.add_argument("--machine", type=_spec, default=M1_SPEC)
+    migrate.add_argument("--dest", type=_kind, default=HypervisorKind.KVM,
+                         help="destination hypervisor (xen = homogeneous "
+                              "baseline)")
+    migrate.add_argument("--vcpus", type=int, default=1)
+    migrate.add_argument("--memory-gib", type=float, default=1.0)
+    migrate.add_argument("--dirty-mb-s", type=float, default=1.0,
+                         help="guest dirty rate during pre-copy (MB/s)")
+
+    advise = sub.add_parser("advise", help="ask the transplant advisor")
+    advise.add_argument("cve", help="triggering CVE id")
+    advise.add_argument("--current", type=_kind,
+                        default=HypervisorKind.XEN)
+    advise.add_argument("--pool", default="xen,kvm",
+                        help="comma-separated hypervisor repertoire")
+    advise.add_argument("--open", dest="open_cves", default="",
+                        help="comma-separated other open CVE ids")
+
+    sub.add_parser("vulns", help="print Table 1 from the dataset")
+
+    cluster = sub.add_parser("cluster", help="run the Fig. 13 sweep")
+    cluster.add_argument("--fractions", default="0,0.2,0.4,0.6,0.8",
+                         help="comma-separated InPlaceTP shares")
+    cluster.add_argument("--hosts", type=int, default=10)
+    cluster.add_argument("--vms-per-host", type=int, default=10)
+
+    sub.add_parser("tcb", help="print the §4.4 TCB accounting")
+    return parser
+
+
+def cmd_inplace(args) -> int:
+    from repro.core.optimizations import OptimizationConfig
+    from repro.core.transplant import HyperTP
+    from repro.sim.clock import SimClock
+    from repro.hypervisors import make_hypervisor
+    from repro.hw.machine import Machine
+    from repro.guest.vm import VMConfig
+    from repro.guest.devices import make_default_platform
+    from repro.hypervisors.nova.formats import NOVA_IOAPIC_PINS
+    from repro.guest.devices import KVM_IOAPIC_PINS, XEN_IOAPIC_PINS
+
+    if args.source is args.target:
+        print("source and target must differ", file=sys.stderr)
+        return 2
+
+    pins = {
+        HypervisorKind.XEN: XEN_IOAPIC_PINS,
+        HypervisorKind.KVM: KVM_IOAPIC_PINS,
+        HypervisorKind.NOVA: NOVA_IOAPIC_PINS,
+    }[args.source]
+    machine = Machine(args.machine)
+    hypervisor = make_hypervisor(args.source)
+    hypervisor.boot(machine)
+    for i in range(args.vms):
+        domain = hypervisor.create_vm(VMConfig(
+            f"vm{i}", vcpus=args.vcpus,
+            memory_bytes=int(args.memory_gib * (1 << 30)), seed=i,
+        ))
+        domain.vm.platform = make_default_platform(args.vcpus,
+                                                   ioapic_pins=pins, seed=i)
+
+    opts = OptimizationConfig(
+        prepare_ahead=not args.no_prepare_ahead,
+        parallel=not args.no_parallel,
+        huge_pages=not args.no_huge_pages,
+    )
+    report = HyperTP(optimizations=opts).inplace(machine, args.target,
+                                                 SimClock())
+    print(f"InPlaceTP {report.source}->{report.target} on "
+          f"{args.machine.name}: {report.vm_count} VMs x {args.vcpus} vCPU "
+          f"x {args.memory_gib:g} GiB")
+    for phase, seconds in report.phase_breakdown.items():
+        print(f"  {phase:>12}: {seconds:8.3f} s")
+    print(f"  {'downtime':>12}: {report.downtime_s:8.3f} s")
+    print(f"  {'total':>12}: {report.total_s:8.3f} s")
+    print(f"  PRAM metadata {report.pram_metadata_bytes / 1024:.0f} KiB, "
+          f"UISR {report.uisr_bytes / 1024:.1f} KiB, guests intact: "
+          f"{report.guest_digests_preserved}")
+    if args.trace:
+        from repro.sim.trace import trace_inplace
+
+        with open(args.trace, "w") as handle:
+            handle.write(trace_inplace(report).to_chrome_trace())
+        print(f"  trace written to {args.trace} "
+              f"(open in chrome://tracing or Perfetto)")
+    return 0
+
+
+def cmd_migrate(args) -> int:
+    from repro.bench.runner import make_host_pair
+    from repro.core.migration import LiveMigration, MigrationTP
+
+    source, destination, fabric = make_host_pair(
+        args.machine, args.dest, vcpus=args.vcpus,
+        memory_gib=args.memory_gib,
+    )
+    domain = next(iter(source.hypervisor.domains.values()))
+    if args.dest is HypervisorKind.XEN:
+        migrator = LiveMigration(fabric, source, destination)
+        flavor = "Xen->Xen baseline"
+    else:
+        migrator = MigrationTP(fabric, source, destination)
+        flavor = f"MigrationTP xen->{args.dest.value}"
+    report = migrator.migrate(
+        domain, dirty_rate_bytes_s=args.dirty_mb_s * (1 << 20),
+    )
+    print(f"{flavor}: {args.memory_gib:g} GiB VM, "
+          f"{args.dirty_mb_s:g} MB/s dirty rate")
+    print(f"  pre-copy rounds : {report.round_count}")
+    print(f"  pre-copy time   : {report.precopy_s:.2f} s")
+    print(f"  downtime        : {report.downtime_s * 1000:.2f} ms")
+    print(f"  total           : {report.total_s:.2f} s")
+    print(f"  bytes moved     : {report.bytes_transferred / (1 << 30):.2f} GiB "
+          f"({report.wire_messages} wire messages)")
+    print(f"  guest intact    : {report.guest_digest_preserved}")
+    return 0
+
+
+def cmd_advise(args) -> int:
+    from repro.vulndb import TransplantAdvisor, load_default_database
+
+    db = load_default_database()
+    pool = [p.strip() for p in args.pool.split(",") if p.strip()]
+    open_cves = [c.strip() for c in args.open_cves.split(",") if c.strip()]
+    advisor = TransplantAdvisor(db, hypervisor_pool=pool)
+    advice = advisor.advise(args.cve, args.current.value,
+                            open_cves=open_cves)
+    record = db.get(args.cve)
+    print(f"{args.cve} (CVSS {record.score}, {record.severity.value}, "
+          f"affects {sorted(record.affected)}): {record.description}")
+    if not advice.transplant_needed:
+        print("no transplant needed")
+        return 0
+    if advice.recommended_target:
+        print(f"=> transplant {args.current.value} -> "
+              f"{advice.recommended_target}")
+        return 0
+    print(f"=> NO SAFE TARGET in pool {pool}; rejected: {advice.rejected}")
+    return 1
+
+
+def cmd_vulns(_args) -> int:
+    from repro.bench.report import format_table
+    from repro.vulndb.analysis import totals, yearly_counts
+    from repro.vulndb.data import load_default_database
+
+    db = load_default_database()
+    rows = [[r.year, r.xen_critical, r.xen_medium, r.kvm_critical,
+             r.kvm_medium, r.common_critical, r.common_medium]
+            for r in yearly_counts(db)]
+    t = totals(db)
+    rows.append(["Total", t.xen_critical, t.xen_medium, t.kvm_critical,
+                 t.kvm_medium, t.common_critical, t.common_medium])
+    print(format_table(
+        ["Year", "Xen crit", "Xen med", "KVM crit", "KVM med",
+         "Common crit", "Common med"], rows,
+        title="Vulnerabilities per year (Table 1)",
+    ))
+    return 0
+
+
+def cmd_cluster(args) -> int:
+    from repro.cluster import UpgradeCampaign
+
+    fractions = [float(f) for f in args.fractions.split(",")]
+    campaign = UpgradeCampaign(hosts=args.hosts,
+                               vms_per_host=args.vms_per_host)
+    results = campaign.sweep(fractions)
+    gains = UpgradeCampaign.time_gains(results)
+    print(f"Cluster upgrade sweep ({args.hosts} hosts x "
+          f"{args.vms_per_host} VMs):")
+    for result, gain in zip(results, gains):
+        print(f"  {result.inplace_fraction:>5.0%}: "
+              f"{result.migration_count:4d} migrations, "
+              f"{result.total_minutes:6.1f} min, gain {gain:4.0%}")
+    return 0
+
+
+def cmd_tcb(_args) -> int:
+    from repro.core.tcb import HYPERTP_COMPONENTS, account
+
+    report = account()
+    for component in HYPERTP_COMPONENTS:
+        where = "kernel" if component.in_kernel else "user"
+        tcb = "TCB" if component.in_tcb else "---"
+        print(f"  {component.kloc:5.1f} KLOC [{where:>6}] [{tcb}] "
+              f"{component.name}")
+    print(f"  total {report.total_kloc:.1f} KLOC, TCB {report.tcb_kloc:.1f} "
+          f"KLOC ({report.userspace_share:.0%} userspace), relative "
+          f"increase {report.relative_tcb_increase:.2%}")
+    return 0
+
+
+_COMMANDS = {
+    "inplace": cmd_inplace,
+    "migrate": cmd_migrate,
+    "advise": cmd_advise,
+    "vulns": cmd_vulns,
+    "cluster": cmd_cluster,
+    "tcb": cmd_tcb,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

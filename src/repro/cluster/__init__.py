@@ -1,0 +1,39 @@
+"""Cluster-scale orchestration (§5.4).
+
+* :mod:`model` — nodes, placements and workload mixes for the 10x10 testbed.
+* :mod:`btrplace` — a BtrPlace-style reconfiguration planner: offline-group
+  constraints produce migration plans.
+* :mod:`plan` — plan data structures (actions, ordering).
+* :mod:`executor` — executes plans on the simulated cluster, timing them.
+* :mod:`upgrade` — whole-cluster upgrade campaigns mixing InPlaceTP and
+  MigrationTP, reproducing Fig. 13.
+"""
+
+from repro.cluster.model import Cluster, ClusterNode, ClusterVM, WorkloadKind
+from repro.cluster.btrplace import BtrPlacePlanner
+from repro.cluster.plan import MigrationAction, InPlaceAction, ReconfigurationPlan
+from repro.cluster.executor import PlanExecutor, ExecutionResult
+from repro.cluster.upgrade import UpgradeCampaign, CampaignResult
+from repro.cluster.serialize import (
+    export_plan,
+    import_plan,
+    summarize_plan,
+)
+
+__all__ = [
+    "export_plan",
+    "import_plan",
+    "summarize_plan",
+    "Cluster",
+    "ClusterNode",
+    "ClusterVM",
+    "WorkloadKind",
+    "BtrPlacePlanner",
+    "MigrationAction",
+    "InPlaceAction",
+    "ReconfigurationPlan",
+    "PlanExecutor",
+    "ExecutionResult",
+    "UpgradeCampaign",
+    "CampaignResult",
+]

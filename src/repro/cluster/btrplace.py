@@ -1,0 +1,100 @@
+"""BtrPlace-style reconfiguration planner.
+
+Reproduces the paper's §5.4 methodology: divide the cluster into groups,
+sequentially put each group offline (BtrPlace's ``offline`` constraint), and
+record the migration plans.  VMs on an offlined host must be placed on live
+hosts; InPlaceTP-compatible VMs are exempt — they ride the host's
+micro-reboot instead of migrating.
+
+Placement follows BtrPlace's default load-balancing behaviour: evacuated
+VMs spread across the least-loaded live nodes (upgraded or not), which is
+why VMs can migrate more than once during a campaign — the source of the
+154 > 100 migration count at 0 % compatibility.
+"""
+
+from typing import List
+
+from repro.errors import PlanningError
+from repro.cluster.model import Cluster
+from repro.cluster.plan import (
+    GroupPlan,
+    InPlaceAction,
+    MigrationAction,
+    ReconfigurationPlan,
+)
+
+
+class BtrPlacePlanner:
+    """Plans a rolling-upgrade campaign over a cluster."""
+
+    def __init__(self, cluster: Cluster, group_size: int = 2):
+        if group_size < 1:
+            raise PlanningError(f"group size must be >= 1, got {group_size}")
+        self.cluster = cluster
+        self.group_size = group_size
+        self._rr_cursor = 0  # spread placement rotates over live nodes
+
+    def _offline_groups(self) -> List[List[str]]:
+        names = sorted(self.cluster.nodes)
+        return [names[i:i + self.group_size]
+                for i in range(0, len(names), self.group_size)]
+
+    def plan(self, apply: bool = True) -> ReconfigurationPlan:
+        """Produce (and by default apply placement changes for) the campaign.
+
+        ``apply=True`` mutates the cluster placement group by group so later
+        groups see earlier evacuees — required for realistic re-migration
+        counts.  Use ``apply=False`` for a single-group dry run.
+        """
+        plan = ReconfigurationPlan()
+        for index, group in enumerate(self._offline_groups()):
+            group_plan = GroupPlan(group_index=index, nodes=list(group))
+            for node_name in group:
+                node = self.cluster.nodes[node_name]
+                staying = []
+                for vm in list(self.cluster.vms_on(node_name)):
+                    if vm.inplace_compatible:
+                        staying.append(vm)
+                        continue
+                    dest = self._pick_destination(group, vm.name)
+                    group_plan.migrations.append(MigrationAction(
+                        vm_name=vm.name,
+                        source=node_name,
+                        destination=dest,
+                        memory_bytes=vm.memory_bytes,
+                        workload=vm.workload,
+                    ))
+                    if apply:
+                        self.cluster.move_vm(vm.name, dest)
+                group_plan.upgrades.append(InPlaceAction(
+                    node_name=node_name,
+                    vm_count=len(staying),
+                    total_memory_bytes=sum(v.memory_bytes for v in staying),
+                ))
+                if apply:
+                    self.cluster.mark_upgraded(node_name, "kvm")
+            plan.groups.append(group_plan)
+        return plan
+
+    def _pick_destination(self, offline_group: List[str],
+                          vm_name: str) -> str:
+        """Spread placement: rotate over all live nodes with capacity.
+
+        BtrPlace balances each reconfiguration step in isolation, without
+        knowledge of *future* offline groups, so evacuees land on
+        not-yet-upgraded hosts too and may migrate again later — the reason
+        the paper's 100-VM cluster needs 154 migrations at 0 % compatibility.
+        """
+        live = [name for name in sorted(self.cluster.nodes)
+                if name not in offline_group]
+        if not live:
+            raise PlanningError("no live nodes to receive evacuated VMs")
+        for _ in range(len(live)):
+            candidate = live[self._rr_cursor % len(live)]
+            self._rr_cursor += 1
+            if self.cluster.nodes[candidate].free_slots > 0:
+                return candidate
+        raise PlanningError(
+            f"no destination with capacity for {vm_name} while "
+            f"{offline_group} is offline"
+        )

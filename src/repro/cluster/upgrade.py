@@ -1,0 +1,65 @@
+"""Whole-cluster upgrade campaigns (Fig. 13).
+
+Runs the §5.4 experiment end to end for a given InPlaceTP-compatible share:
+build the 10x10 cluster, plan the rolling upgrade with the BtrPlace-style
+planner, execute it, and report migration counts and total time.  Sweeping
+the share reproduces both Fig. 13 panels (migration count, time gain).
+"""
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.cluster.btrplace import BtrPlacePlanner
+from repro.cluster.executor import ExecutionResult, PlanExecutor
+from repro.cluster.model import build_paper_cluster
+from repro.cluster.plan import ReconfigurationPlan
+
+
+@dataclass
+class CampaignResult:
+    """One sweep point of Fig. 13."""
+
+    inplace_fraction: float
+    migration_count: int
+    total_s: float
+
+    @property
+    def total_minutes(self) -> float:
+        return self.total_s / 60.0
+
+
+class UpgradeCampaign:
+    """Parameterised §5.4 campaign."""
+
+    def __init__(self, hosts: int = 10, vms_per_host: int = 10,
+                 group_size: int = 2, seed: int = 42):
+        self.hosts = hosts
+        self.vms_per_host = vms_per_host
+        self.group_size = group_size
+        self.seed = seed
+        self.executor = PlanExecutor()
+
+    def run(self, inplace_fraction: float) -> CampaignResult:
+        cluster = build_paper_cluster(
+            hosts=self.hosts, vms_per_host=self.vms_per_host,
+            inplace_fraction=inplace_fraction, seed=self.seed,
+        )
+        planner = BtrPlacePlanner(cluster, group_size=self.group_size)
+        plan: ReconfigurationPlan = planner.plan(apply=True)
+        result: ExecutionResult = self.executor.execute(plan)
+        return CampaignResult(
+            inplace_fraction=inplace_fraction,
+            migration_count=result.migration_count,
+            total_s=result.total_s,
+        )
+
+    def sweep(self, fractions: List[float]) -> List[CampaignResult]:
+        return [self.run(f) for f in fractions]
+
+    @staticmethod
+    def time_gains(results: List[CampaignResult]) -> List[float]:
+        """Per-point gain relative to the first (baseline) result."""
+        if not results:
+            return []
+        baseline = results[0].total_s
+        return [1.0 - r.total_s / baseline for r in results]

@@ -1,0 +1,31 @@
+"""Hypervisor <-> UISR converters and compatibility fixups.
+
+Each direction is an independent module so a hypervisor expert can own just
+their pair (the paper's division of labour, §3.1):
+
+* :mod:`xen_to_uisr` / :mod:`uisr_to_xen` — written against the Xen
+  toolstack's HVM-context entry points.
+* :mod:`kvm_to_uisr` / :mod:`uisr_to_kvm` — written against kvmtool and the
+  KVM ioctl surface.
+* :mod:`compat` — the cross-hypervisor fixups (IOAPIC 48->24 pins, etc.).
+"""
+
+from repro.core.convert.xen_to_uisr import to_uisr_xen
+from repro.core.convert.uisr_to_xen import from_uisr_xen
+from repro.core.convert.kvm_to_uisr import to_uisr_kvm
+from repro.core.convert.uisr_to_kvm import from_uisr_kvm
+from repro.core.convert.compat import (
+    ioapic_shrink_to,
+    ioapic_grow_to,
+    apply_platform_fixups,
+)
+
+__all__ = [
+    "to_uisr_xen",
+    "from_uisr_xen",
+    "to_uisr_kvm",
+    "from_uisr_kvm",
+    "ioapic_shrink_to",
+    "ioapic_grow_to",
+    "apply_platform_fixups",
+]

@@ -1,0 +1,72 @@
+"""Cross-hypervisor compatibility fixups.
+
+The paper found that while Xen and KVM VM states are largely similar (both
+ride hardware virtualization), specific virtual devices need fixes to keep
+functioning on the new hypervisor (§4.2.1).  The flagship example is the
+IOAPIC: Xen emulates 48 pins, KVM 24.  The prototype simply disconnects the
+upper pins during Xen->KVM transplant — legacy ISA routes all live in the
+low 16 pins, so tested applications are unaffected — and re-grows the table
+with disconnected pins for KVM->Xen.
+"""
+
+from typing import List
+
+from repro.errors import UISRError
+from repro.guest.devices import IOAPICPin, IOAPICState, PlatformState
+
+
+def ioapic_shrink_to(ioapic: IOAPICState, pins: int) -> IOAPICState:
+    """Drop redirection entries above ``pins`` (Xen 48 -> KVM 24).
+
+    Refuses to drop a pin that carries a live (unmasked) route: that would
+    silently break a device's interrupt delivery rather than merely removing
+    unused lines.
+    """
+    if pins <= 0:
+        raise UISRError(f"cannot shrink IOAPIC to {pins} pins")
+    if len(ioapic.pins) < pins:
+        raise UISRError(
+            f"IOAPIC has {len(ioapic.pins)} pins, cannot shrink to {pins}"
+        )
+    for index, pin in enumerate(ioapic.pins[pins:], start=pins):
+        if not pin.masked and pin.vector:
+            raise UISRError(
+                f"IOAPIC pin {index} carries a live route (vector "
+                f"{pin.vector:#x}); refusing to disconnect it"
+            )
+    return IOAPICState(pins=list(ioapic.pins[:pins]), ioapic_id=ioapic.ioapic_id)
+
+
+def ioapic_grow_to(ioapic: IOAPICState, pins: int) -> IOAPICState:
+    """Pad the redirection table with disconnected pins (KVM 24 -> Xen 48)."""
+    if len(ioapic.pins) > pins:
+        raise UISRError(
+            f"IOAPIC has {len(ioapic.pins)} pins, cannot grow to {pins}"
+        )
+    padded: List[IOAPICPin] = list(ioapic.pins)
+    padded.extend(IOAPICPin() for _ in range(pins - len(ioapic.pins)))
+    return IOAPICState(pins=padded, ioapic_id=ioapic.ioapic_id)
+
+
+def apply_platform_fixups(platform: PlatformState,
+                          target_ioapic_pins: int) -> PlatformState:
+    """Adapt a platform's devices to the target hypervisor's models.
+
+    Returns a new :class:`PlatformState`; the input is not mutated (the
+    source hypervisor may still need its own view if the transplant aborts).
+    """
+    current = platform.ioapic.pin_count
+    if current == target_ioapic_pins:
+        ioapic = IOAPICState(pins=list(platform.ioapic.pins),
+                             ioapic_id=platform.ioapic.ioapic_id)
+    elif current > target_ioapic_pins:
+        ioapic = ioapic_shrink_to(platform.ioapic, target_ioapic_pins)
+    else:
+        ioapic = ioapic_grow_to(platform.ioapic, target_ioapic_pins)
+    return PlatformState(
+        lapics=list(platform.lapics),
+        ioapic=ioapic,
+        pit=platform.pit,
+        mtrr=platform.mtrr,
+        xsave=list(platform.xsave),
+    )

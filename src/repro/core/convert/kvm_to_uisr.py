@@ -1,0 +1,40 @@
+"""KVM -> UISR translation (the ``to_uisr_*`` side for KVM).
+
+Collects the domain's state through kvmtool's GET ioctls, decodes the
+KVM-native structs (unfolding the MSR-packed MTRRs and APIC base back into
+dedicated records) and repackages them as a UISR document.
+"""
+
+from typing import Optional
+
+from repro.errors import UISRError
+from repro.hypervisors.base import Domain, HypervisorKind
+from repro.hypervisors.kvm import formats
+from repro.hypervisors.kvm.hypervisor import KVMHypervisor
+from repro.core.convert.xen_to_uisr import _device_states, _memory_map_for
+from repro.core.uisr.format import (
+    UISR_VERSION,
+    UISRPlatform,
+    UISRVCpu,
+    UISRVMState,
+)
+
+
+def to_uisr_kvm(hypervisor: KVMHypervisor, domain: Domain,
+                pram_file: Optional[str] = None) -> UISRVMState:
+    """Translate a KVM domain's VM_i State into UISR."""
+    if hypervisor.kind is not HypervisorKind.KVM:
+        raise UISRError(f"to_uisr_kvm called on {hypervisor.kind.value}")
+    bundle = hypervisor.vmm_for(domain.domid).read_state_bundle()
+    vcpus, platform = formats.decode_bundle(bundle)
+    return UISRVMState(
+        version=UISR_VERSION,
+        vm_name=domain.vm.name,
+        vcpu_count=domain.vm.config.vcpus,
+        memory_bytes=domain.vm.image.size_bytes,
+        source_hypervisor=HypervisorKind.KVM.value,
+        vcpus=[UISRVCpu(v) for v in vcpus],
+        platform=UISRPlatform(platform),
+        memory_map=_memory_map_for(domain, pram_file),
+        devices=_device_states(domain),
+    )

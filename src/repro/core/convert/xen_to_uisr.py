@@ -1,0 +1,78 @@
+"""Xen -> UISR translation (the ``to_uisr_*`` side for Xen).
+
+Pulls the domain's platform state through the toolstack's
+``xc_domain_hvm_getcontext`` (exactly what the paper's prototype reuses,
+§4.2.1), decodes the Xen-native records, and repackages them as a UISR
+document.  The memory map is attached either by PRAM reference (InPlaceTP)
+or as an explicit chunk list (MigrationTP).
+"""
+
+from typing import List, Optional
+
+from repro.errors import UISRError
+from repro.hypervisors.base import Domain, HypervisorKind
+from repro.hypervisors.xen.hypervisor import XenHypervisor
+from repro.core.uisr.format import (
+    UISR_VERSION,
+    UISRDeviceState,
+    UISRMemoryChunk,
+    UISRMemoryMap,
+    UISRPlatform,
+    UISRVCpu,
+    UISRVMState,
+)
+
+
+def _memory_map_for(domain: Domain, pram_file: Optional[str]) -> UISRMemoryMap:
+    image = domain.vm.image
+    if pram_file is not None:
+        return UISRMemoryMap(
+            page_size=image.page_size,
+            total_bytes=image.size_bytes,
+            pram_file=pram_file,
+        )
+    order = (image.page_size // 4096).bit_length() - 1
+    chunks = [
+        UISRMemoryChunk(gfn=gfn, mfn=mfn, order=order)
+        for gfn, mfn in image.mappings()
+    ]
+    return UISRMemoryMap(
+        page_size=image.page_size,
+        total_bytes=image.size_bytes,
+        chunks=chunks,
+    )
+
+
+def _device_states(domain: Domain) -> List[UISRDeviceState]:
+    from repro.devices.model import transplant_strategy_for
+
+    states = []
+    for driver in domain.vm.devices:
+        strategy, payload = transplant_strategy_for(driver)
+        states.append(UISRDeviceState(
+            name=driver.name,
+            device_class=type(driver).__name__,
+            strategy=strategy,
+            payload=payload,
+        ))
+    return states
+
+
+def to_uisr_xen(hypervisor: XenHypervisor, domain: Domain,
+                pram_file: Optional[str] = None) -> UISRVMState:
+    """Translate a Xen domain's VM_i State into UISR."""
+    if hypervisor.kind is not HypervisorKind.XEN:
+        raise UISRError(f"to_uisr_xen called on {hypervisor.kind.value}")
+    blob = hypervisor.toolstack.xc_domain_hvm_getcontext(domain.domid)
+    vcpus, platform = hypervisor.toolstack.decode_context(blob)
+    return UISRVMState(
+        version=UISR_VERSION,
+        vm_name=domain.vm.name,
+        vcpu_count=domain.vm.config.vcpus,
+        memory_bytes=domain.vm.image.size_bytes,
+        source_hypervisor=HypervisorKind.XEN.value,
+        vcpus=[UISRVCpu(v) for v in vcpus],
+        platform=UISRPlatform(platform),
+        memory_map=_memory_map_for(domain, pram_file),
+        devices=_device_states(domain),
+    )

@@ -1,0 +1,81 @@
+"""Simulated kexec micro-reboot (§4.2.4).
+
+Kexec boots a new kernel on top of a running system without firmware
+re-initialization.  For InPlaceTP the sequence is:
+
+1. the target hypervisor image is loaded into RAM ahead of time;
+2. at transplant time the machine jumps into it, passing the PRAM pointer on
+   the boot command line;
+3. the target's early boot parses the PRAM structure and *reserves* every
+   frame it names before the allocator comes up, so guest memory survives;
+4. everything else (old HV State) is reinitialized.
+
+The model enforces the survival invariant on the real allocator: after
+``micro_reboot`` only pinned (PRAM-registered) frames remain allocated and
+their digests are untouched.
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import KexecError
+from repro.hw.machine import Machine
+from repro.hypervisors.base import Hypervisor, HypervisorKind
+
+
+@dataclass
+class KexecImage:
+    """A staged kernel image for the target hypervisor."""
+
+    kind: HypervisorKind
+    cmdline_pram_pointer: Optional[int] = None
+
+    @property
+    def cmdline(self) -> str:
+        base = f"console=ttyS0 {self.kind.value}-transplant=1"
+        if self.cmdline_pram_pointer is not None:
+            return f"{base} pram={self.cmdline_pram_pointer:#x}"
+        return base
+
+
+def load_kexec_image(machine: Machine, kind: HypervisorKind) -> KexecImage:
+    """Step 1 of InPlaceTP (Fig. 3 ❶): stage the target kernel in RAM."""
+    image = KexecImage(kind=kind)
+    machine.stage_kernel(image)
+    return image
+
+
+def micro_reboot(machine: Machine, target: Hypervisor,
+                 pram_pointer: Optional[int]) -> Hypervisor:
+    """Execute the staged kexec: tear down the old hypervisor, boot the new.
+
+    Guest frames registered with PRAM (pinned) survive; the rest of RAM is
+    handed to the new hypervisor's allocator.  Raises :class:`KexecError` if
+    no kernel was staged or the staged kind does not match ``target``.
+    """
+    image = machine.staged_kernel
+    if image is None:
+        raise KexecError(f"{machine.name}: no kexec image staged")
+    if image.kind is not target.kind:
+        raise KexecError(
+            f"{machine.name}: staged kernel is {image.kind.value}, "
+            f"target is {target.kind.value}"
+        )
+    image.cmdline_pram_pointer = pram_pointer
+
+    old = machine.hypervisor
+    if old is not None:
+        # Domains are carried through PRAM/UISR, not through the old
+        # hypervisor object; drop its references without releasing VMs.
+        for domid in list(old.domains):
+            old.detach_domain(domid)
+        old.shutdown()
+
+    # The NIC loses link across the reboot; HV State is reinitialized by
+    # resetting the allocator around the pinned frames.
+    machine.nic.reset()
+    machine.memory.reset_except_pinned()
+    machine.staged_kernel = None
+
+    target.boot(machine)
+    return target

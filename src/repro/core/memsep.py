@@ -1,0 +1,98 @@
+"""Memory-separation classifier (Fig. 2).
+
+Classifies every byte a virtualized host holds into the four categories the
+paper defines, and derives from that classification the *action* HyperTP
+must take on each during a transplant:
+
+==================  =========================  ==========================
+Category            Contents                   Transplant action
+==================  =========================  ==========================
+Guest State         guest address spaces       keep in place / copy as-is
+VM_i State          NPTs, vCPU contexts,       translate through UISR
+                    platform device state
+VM Management       scheduler queues etc.      rebuild from VM_i states
+HV State            hypervisor heap/text       reinitialise (reboot) or
+                                               already present (migration)
+==================  =========================  ==========================
+"""
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.hypervisors.base import Hypervisor, MemoryReport
+
+
+class MemoryCategory(enum.Enum):
+    GUEST_STATE = "guest-state"
+    VMI_STATE = "vmi-state"
+    MANAGEMENT_STATE = "vm-management-state"
+    HV_STATE = "hv-state"
+
+
+class TransplantAction(enum.Enum):
+    KEEP_IN_PLACE = "keep-in-place"
+    TRANSLATE = "translate"
+    REBUILD = "rebuild"
+    REINITIALIZE = "reinitialize"
+
+
+ACTION_FOR_CATEGORY = {
+    MemoryCategory.GUEST_STATE: TransplantAction.KEEP_IN_PLACE,
+    MemoryCategory.VMI_STATE: TransplantAction.TRANSLATE,
+    MemoryCategory.MANAGEMENT_STATE: TransplantAction.REBUILD,
+    MemoryCategory.HV_STATE: TransplantAction.REINITIALIZE,
+}
+
+
+@dataclass
+class SeparationBreakdown:
+    """Byte counts per category plus derived ratios."""
+
+    bytes_by_category: Dict[MemoryCategory, int]
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.bytes_by_category.values())
+
+    def fraction(self, category: MemoryCategory) -> float:
+        total = self.total_bytes
+        return self.bytes_by_category[category] / total if total else 0.0
+
+    @property
+    def translated_bytes(self) -> int:
+        """Bytes HyperTP must actually translate — only VM_i State."""
+        return self.bytes_by_category[MemoryCategory.VMI_STATE]
+
+    @property
+    def untouched_bytes(self) -> int:
+        """Bytes left exactly in place (the dominant share)."""
+        return self.bytes_by_category[MemoryCategory.GUEST_STATE]
+
+    def action_plan(self) -> Dict[MemoryCategory, TransplantAction]:
+        return dict(ACTION_FOR_CATEGORY)
+
+
+def classify(hypervisor: Hypervisor) -> SeparationBreakdown:
+    """Classify a live hypervisor's resident memory (Fig. 2)."""
+    report: MemoryReport = hypervisor.memory_report()
+    return SeparationBreakdown({
+        MemoryCategory.GUEST_STATE: report.guest_state,
+        MemoryCategory.VMI_STATE: report.vmi_state,
+        MemoryCategory.MANAGEMENT_STATE: report.management_state,
+        MemoryCategory.HV_STATE: report.hv_state,
+    })
+
+
+def transplant_work_summary(hypervisor: Hypervisor) -> List[str]:
+    """Human-readable per-category plan for a host (used by the examples)."""
+    breakdown = classify(hypervisor)
+    lines = []
+    for category in MemoryCategory:
+        nbytes = breakdown.bytes_by_category[category]
+        action = ACTION_FOR_CATEGORY[category]
+        lines.append(
+            f"{category.value:>22}: {nbytes / (1 << 20):10.2f} MiB -> "
+            f"{action.value}"
+        )
+    return lines

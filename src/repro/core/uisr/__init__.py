@@ -1,0 +1,32 @@
+"""Unified Intermediate State Representation.
+
+UISR is the hypervisor-neutral format through which VM_i State travels
+during a transplant (§3.1).  Like XDR for network data, it exists so that a
+hypervisor developer only has to implement ``to_uisr_*`` / ``from_uisr_*``
+against one format, not against every other hypervisor's internals.
+"""
+
+from repro.core.uisr.format import (
+    UISRDeviceState,
+    UISRMemoryMap,
+    UISRMemoryChunk,
+    UISRPlatform,
+    UISRVCpu,
+    UISRVMState,
+)
+from repro.core.uisr.codec import decode_uisr, encode_uisr, uisr_size
+from repro.core.uisr.registry import ConverterRegistry, default_registry
+
+__all__ = [
+    "UISRDeviceState",
+    "UISRMemoryMap",
+    "UISRMemoryChunk",
+    "UISRPlatform",
+    "UISRVCpu",
+    "UISRVMState",
+    "encode_uisr",
+    "decode_uisr",
+    "uisr_size",
+    "ConverterRegistry",
+    "default_registry",
+]

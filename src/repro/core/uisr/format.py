@@ -1,0 +1,127 @@
+"""UISR dataclasses.
+
+The paper uses "a slight modification of Xen's virtual resource state
+representation" as UISR (§4.2), chosen because Xen's format is mature.  Our
+UISR therefore carries the same architectural content as the Xen HVM context
+— vCPU register files, LAPICs, an IOAPIC of *any* pin count, PIT, MTRR,
+XSAVE — plus the pieces the Xen context does not include but a transplant
+needs: the VM's identity/sizing, its memory map (by reference to a PRAM file
+or as an explicit chunk list), and emulated-device states.
+"""
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import UISRError
+from repro.guest.devices import PlatformState
+from repro.guest.vcpu import VCPUState
+
+UISR_VERSION = 1
+
+
+@dataclass
+class UISRVCpu:
+    """Neutral per-vCPU record (architectural registers only)."""
+
+    vcpu: VCPUState
+
+    def view(self) -> Tuple:
+        return self.vcpu.architectural_view()
+
+
+@dataclass
+class UISRPlatform:
+    """Neutral platform-device record set."""
+
+    platform: PlatformState
+
+    def view(self) -> Tuple:
+        return self.platform.architectural_view()
+
+
+@dataclass(frozen=True)
+class UISRMemoryChunk:
+    """One contiguous guest-memory chunk: GFN -> MFN, 2^order base pages."""
+
+    gfn: int
+    mfn: int
+    order: int  # chunk covers 2**order 4K base pages
+
+    def __post_init__(self) -> None:
+        if self.gfn < 0 or self.mfn < 0 or self.order < 0:
+            raise UISRError(f"invalid memory chunk {self}")
+
+
+@dataclass
+class UISRMemoryMap:
+    """The VM's memory layout.
+
+    For InPlaceTP the map is *by reference*: ``pram_file`` names the PRAM
+    file whose page entries hold the layout (guest pages stay in place).
+    For MigrationTP the map is *by value*: ``chunks`` lists every chunk so
+    the destination can rebuild the layout as pages arrive.
+    """
+
+    page_size: int
+    total_bytes: int
+    pram_file: Optional[str] = None
+    chunks: List[UISRMemoryChunk] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if (self.pram_file is None) == (not self.chunks):
+            # exactly one of the two representations must be present
+            raise UISRError(
+                "memory map must carry either a PRAM reference or chunks"
+            )
+
+    @property
+    def by_reference(self) -> bool:
+        return self.pram_file is not None
+
+
+@dataclass
+class UISRDeviceState:
+    """One emulated device's translated state."""
+
+    name: str
+    device_class: str  # e.g. "net", "block", "serial"
+    strategy: str  # "translate" or "unplug-rescan" or "passthrough-pause"
+    payload: bytes = b""
+
+
+@dataclass
+class UISRVMState:
+    """Top-level UISR document for one VM (the unit HyperTP moves)."""
+
+    version: int
+    vm_name: str
+    vcpu_count: int
+    memory_bytes: int
+    source_hypervisor: str
+    vcpus: List[UISRVCpu]
+    platform: UISRPlatform
+    memory_map: UISRMemoryMap
+    devices: List[UISRDeviceState] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.version != UISR_VERSION:
+            raise UISRError(f"unsupported UISR version {self.version}")
+        if len(self.vcpus) != self.vcpu_count:
+            raise UISRError(
+                f"UISR for {self.vm_name}: {len(self.vcpus)} vCPU records "
+                f"for vcpu_count={self.vcpu_count}"
+            )
+        if len(self.platform.platform.lapics) != self.vcpu_count:
+            raise UISRError(
+                f"UISR for {self.vm_name}: LAPIC count mismatch"
+            )
+
+    def architectural_view(self) -> Tuple:
+        """Canonical projection for cross-format equality checks."""
+        return (
+            self.vm_name,
+            self.vcpu_count,
+            self.memory_bytes,
+            tuple(v.view() for v in self.vcpus),
+            self.platform.view(),
+        )

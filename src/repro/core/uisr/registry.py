@@ -1,0 +1,73 @@
+"""Converter registry.
+
+The paper structures hypervisor support around ``to_uisr_xxx`` /
+``from_uisr_xxx`` functions written by each hypervisor's expert (§3.1).  The
+registry holds those functions keyed by hypervisor kind, so adding a third
+hypervisor to the repertoire is a matter of registering one converter pair —
+no other hypervisor needs to know about it.
+"""
+
+from typing import Callable, Dict
+
+from repro.errors import UISRError
+from repro.hypervisors.base import HypervisorKind
+from repro.core.uisr.format import UISRVMState
+
+ToUISR = Callable[..., UISRVMState]
+FromUISR = Callable[..., object]
+
+
+class ConverterRegistry:
+    """Maps hypervisor kinds to their UISR converter pair."""
+
+    def __init__(self):
+        self._to_uisr: Dict[HypervisorKind, ToUISR] = {}
+        self._from_uisr: Dict[HypervisorKind, FromUISR] = {}
+
+    def register(self, kind: HypervisorKind, to_uisr: ToUISR,
+                 from_uisr: FromUISR) -> None:
+        self._to_uisr[kind] = to_uisr
+        self._from_uisr[kind] = from_uisr
+
+    def supported_kinds(self):
+        return sorted(set(self._to_uisr) & set(self._from_uisr),
+                      key=lambda k: k.value)
+
+    def to_uisr(self, kind: HypervisorKind) -> ToUISR:
+        try:
+            return self._to_uisr[kind]
+        except KeyError:
+            raise UISRError(
+                f"no to_uisr converter registered for {kind.value}"
+            ) from None
+
+    def from_uisr(self, kind: HypervisorKind) -> FromUISR:
+        try:
+            return self._from_uisr[kind]
+        except KeyError:
+            raise UISRError(
+                f"no from_uisr converter registered for {kind.value}"
+            ) from None
+
+
+_default: "ConverterRegistry" = None
+
+
+def default_registry() -> ConverterRegistry:
+    """The registry pre-populated with the Xen and KVM converter pairs."""
+    global _default
+    if _default is None:
+        from repro.core.convert import (
+            from_uisr_kvm,
+            from_uisr_xen,
+            to_uisr_kvm,
+            to_uisr_xen,
+        )
+        from repro.core.convert.nova_uisr import from_uisr_nova, to_uisr_nova
+
+        registry = ConverterRegistry()
+        registry.register(HypervisorKind.XEN, to_uisr_xen, from_uisr_xen)
+        registry.register(HypervisorKind.KVM, to_uisr_kvm, from_uisr_kvm)
+        registry.register(HypervisorKind.NOVA, to_uisr_nova, from_uisr_nova)
+        _default = registry
+    return _default

@@ -1,0 +1,21 @@
+"""Device transplant handling.
+
+Implements the §4.2.3 device taxonomy: pass-through devices are quiesced and
+preserved through Guest State; emulated devices either have their VMM-side
+emulation state copied+translated or — for network devices — are unplugged
+before transplant and rescanned after.
+"""
+
+from repro.devices.model import (
+    DeviceTransplantPlan,
+    plan_device_transplant,
+    transplant_strategy_for,
+    restore_devices,
+)
+
+__all__ = [
+    "DeviceTransplantPlan",
+    "plan_device_transplant",
+    "transplant_strategy_for",
+    "restore_devices",
+]

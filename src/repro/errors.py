@@ -1,0 +1,73 @@
+"""Exception hierarchy for the HyperTP reproduction.
+
+Every subsystem raises a subclass of :class:`ReproError` so that callers can
+distinguish reproduction-library failures from programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(ReproError):
+    """Raised for discrete-event engine misuse (time travel, dead processes)."""
+
+
+class HardwareError(ReproError):
+    """Raised for hardware-model violations (frame exhaustion, bad machine)."""
+
+
+class FrameAllocationError(HardwareError):
+    """Raised when a physical frame allocation cannot be satisfied."""
+
+
+class HypervisorError(ReproError):
+    """Raised for hypervisor-level failures (bad domain, wrong lifecycle)."""
+
+
+class VMLifecycleError(HypervisorError):
+    """Raised when a VM operation is invalid in the VM's current state."""
+
+
+class StateFormatError(ReproError):
+    """Raised when hypervisor state bytes cannot be parsed or serialized."""
+
+
+class UISRError(StateFormatError):
+    """Raised when UISR encoding, decoding, or conversion fails."""
+
+
+class PRAMError(StateFormatError):
+    """Raised when a PRAM structure is malformed or inconsistent."""
+
+
+class TransplantError(ReproError):
+    """Raised when a transplant (InPlaceTP or MigrationTP) cannot proceed."""
+
+
+class MigrationError(TransplantError):
+    """Raised when a live migration fails (no capacity, link down)."""
+
+
+class KexecError(TransplantError):
+    """Raised when the simulated micro-reboot fails."""
+
+
+class ClusterError(ReproError):
+    """Raised for cluster-planning failures (unsatisfiable constraints)."""
+
+
+class PlanningError(ClusterError):
+    """Raised when the BtrPlace-style planner cannot produce a valid plan."""
+
+
+class OrchestratorError(ReproError):
+    """Raised for Nova/libvirt orchestration-layer failures."""
+
+
+class VulnDBError(ReproError):
+    """Raised for vulnerability-database failures (unknown CVE, bad score)."""
+
+
+class NoSafeHypervisorError(VulnDBError):
+    """Raised when no hypervisor in the pool is safe against an open flaw."""

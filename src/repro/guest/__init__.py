@@ -1,0 +1,41 @@
+"""Guest-side models.
+
+A guest VM is described by a :class:`VMConfig`, owns a :class:`GuestImage`
+(its physical address space, backed by host frames), a set of
+:class:`~repro.guest.vcpu.VCPUState` objects and virtual platform devices.
+All of this is *Guest State* or *VM_i State* in the paper's memory-separation
+terminology; the hypervisor packages wrap these in their own formats.
+"""
+
+from repro.guest.vcpu import VCPUState, make_boot_vcpu
+from repro.guest.devices import (
+    LAPICState,
+    IOAPICState,
+    PITState,
+    MTRRState,
+    XSAVEState,
+    PlatformState,
+    make_default_platform,
+)
+from repro.guest.image import GuestImage
+from repro.guest.vm import VMConfig, VirtualMachine, VMState
+from repro.guest.drivers import GuestDriver, NetworkDriver, PassthroughDriver
+
+__all__ = [
+    "VCPUState",
+    "make_boot_vcpu",
+    "LAPICState",
+    "IOAPICState",
+    "PITState",
+    "MTRRState",
+    "XSAVEState",
+    "PlatformState",
+    "make_default_platform",
+    "GuestImage",
+    "VMConfig",
+    "VirtualMachine",
+    "VMState",
+    "GuestDriver",
+    "NetworkDriver",
+    "PassthroughDriver",
+]

@@ -1,0 +1,179 @@
+"""Virtual platform devices.
+
+These are the architectural platform components the paper's Table 2 maps
+between Xen HVM records, UISR and KVM ioctls: LAPIC (per-vCPU), IOAPIC, PIT,
+MTRRs and the XSAVE extended state.  Note the deliberate heterogeneity we
+reproduce: Xen models a 48-pin IOAPIC while KVM models 24 pins, so the
+Xen→KVM conversion must apply a compatibility fixup (§4.2.1).
+"""
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+XEN_IOAPIC_PINS = 48
+KVM_IOAPIC_PINS = 24
+
+
+@dataclass
+class LAPICState:
+    """Local APIC state for one vCPU."""
+
+    apic_id: int
+    apic_base_msr: int = 0xFEE00900
+    task_priority: int = 0
+    spurious_vector: int = 0x1FF
+    lvt_timer: int = 0x400EC
+    lvt_lint0: int = 0x700
+    lvt_lint1: int = 0x400
+    timer_initial_count: int = 0
+    timer_divide: int = 0
+    isr: Tuple[int, ...] = (0,) * 8
+    irr: Tuple[int, ...] = (0,) * 8
+
+    def registers_view(self) -> Tuple:
+        return (
+            self.apic_id,
+            self.apic_base_msr,
+            self.task_priority,
+            self.spurious_vector,
+            self.lvt_timer,
+            self.lvt_lint0,
+            self.lvt_lint1,
+            self.timer_initial_count,
+            self.timer_divide,
+            self.isr,
+            self.irr,
+        )
+
+
+@dataclass
+class IOAPICPin:
+    """One IOAPIC redirection-table entry."""
+
+    vector: int = 0
+    masked: bool = True
+    trigger_level: bool = False
+    dest_apic: int = 0
+
+    def as_tuple(self) -> Tuple[int, bool, bool, int]:
+        return (self.vector, self.masked, self.trigger_level, self.dest_apic)
+
+
+@dataclass
+class IOAPICState:
+    """IOAPIC with a hypervisor-chosen pin count."""
+
+    pins: List[IOAPICPin]
+    ioapic_id: int = 0
+
+    @property
+    def pin_count(self) -> int:
+        return len(self.pins)
+
+    def redirection_view(self) -> Tuple:
+        return tuple(p.as_tuple() for p in self.pins)
+
+
+@dataclass
+class PITState:
+    """8254 programmable interval timer (3 channels)."""
+
+    channel_counts: Tuple[int, int, int] = (0xFFFF, 0, 0)
+    channel_modes: Tuple[int, int, int] = (2, 0, 0)
+    speaker_enabled: bool = False
+
+    def view(self) -> Tuple:
+        return (self.channel_counts, self.channel_modes, self.speaker_enabled)
+
+
+@dataclass
+class MTRRState:
+    """Memory-type range registers (per vCPU architecturally; the paper's
+    Table 2 maps Xen's MTRR record to KVM MSRs)."""
+
+    default_type: int = 6  # write-back
+    fixed: Tuple[int, ...] = (0x0606060606060606,) * 11
+    variable: Tuple[Tuple[int, int], ...] = ()
+
+    def view(self) -> Tuple:
+        return (self.default_type, self.fixed, self.variable)
+
+
+@dataclass
+class XSAVEState:
+    """Extended processor state area (header + feature blocks)."""
+
+    xstate_bv: int = 0x7
+    xcomp_bv: int = 0
+    blocks: Tuple[int, ...] = ()
+
+    def view(self) -> Tuple:
+        return (self.xstate_bv, self.xcomp_bv, self.blocks)
+
+
+@dataclass
+class PlatformState:
+    """All shared (non-per-vCPU) platform devices plus per-vCPU LAPICs."""
+
+    lapics: List[LAPICState] = field(default_factory=list)
+    ioapic: IOAPICState = field(default_factory=lambda: IOAPICState(pins=[]))
+    pit: PITState = field(default_factory=PITState)
+    mtrr: MTRRState = field(default_factory=MTRRState)
+    xsave: List[XSAVEState] = field(default_factory=list)
+
+    def architectural_view(self) -> Tuple:
+        return (
+            tuple(l.registers_view() for l in self.lapics),
+            self.ioapic.redirection_view(),
+            self.pit.view(),
+            self.mtrr.view(),
+            tuple(x.view() for x in self.xsave),
+        )
+
+
+def make_default_platform(
+    vcpus: int, ioapic_pins: int = XEN_IOAPIC_PINS, seed: int = 0
+) -> PlatformState:
+    """Build a deterministic, plausibly-populated platform for ``vcpus``.
+
+    Only the low 16 IOAPIC pins carry live routes (legacy ISA IRQs), matching
+    the paper's observation that dropping pins 24-47 during Xen→KVM
+    transplant did not affect the tested applications.
+    """
+    rng = random.Random(seed ^ 0x9E3779B9)
+    lapics = [
+        LAPICState(
+            apic_id=i,
+            task_priority=0,
+            timer_initial_count=rng.getrandbits(24),
+            timer_divide=0b1011,
+        )
+        for i in range(vcpus)
+    ]
+    pins = []
+    for pin in range(ioapic_pins):
+        if pin < 16:
+            pins.append(
+                IOAPICPin(
+                    vector=0x30 + pin,
+                    masked=(pin in (0, 2)),
+                    trigger_level=pin >= 8,
+                    dest_apic=pin % max(1, vcpus),
+                )
+            )
+        else:
+            pins.append(IOAPICPin())
+    # 512-byte AVX/AVX-512 extended region per vCPU.
+    xsave = [
+        XSAVEState(blocks=tuple(rng.getrandbits(64) for _ in range(64)))
+        for _ in range(vcpus)
+    ]
+    variable_mtrr = ((0x00000000C0000000, 0xFFFFFFFFC0000800),)
+    return PlatformState(
+        lapics=lapics,
+        ioapic=IOAPICState(pins=pins),
+        pit=PITState(),
+        mtrr=MTRRState(variable=variable_mtrr),
+        xsave=xsave,
+    )

@@ -1,0 +1,113 @@
+"""Guest-side device drivers and their transplant cooperation protocol.
+
+Section 4.2.3 distinguishes two device classes:
+
+* **Pass-through** — the physical device survives transplantation; the guest
+  driver is asked to *pause* (quiesce) so the device+driver pair reaches a
+  consistent state stored inside Guest State, then to *resume* afterwards.
+* **Emulated** — the emulation software changes with the hypervisor; its
+  state is copied and translated, or — for network devices — the guest is
+  asked to *unplug* the device before transplant and *rescan* afterwards,
+  which does not break established TCP connections.
+
+Guests are notified ahead of time, mirroring Azure's Scheduled Events API.
+"""
+
+import enum
+
+from repro.errors import TransplantError
+
+
+class DriverState(enum.Enum):
+    ACTIVE = "active"
+    PAUSED = "paused"
+    UNPLUGGED = "unplugged"
+
+
+class GuestDriver:
+    """Base guest driver: notify / pause / resume protocol."""
+
+    #: seconds of guest-side work to quiesce this driver class
+    pause_cost_s = 0.002
+    resume_cost_s = 0.002
+
+    def __init__(self, name: str):
+        self.name = name
+        self.state = DriverState.ACTIVE
+        self.notified = False
+
+    def notify_maintenance(self) -> None:
+        """Scheduled-events style advance notice of the transplant."""
+        self.notified = True
+
+    def pause(self) -> float:
+        if self.state is not DriverState.ACTIVE:
+            raise TransplantError(f"driver {self.name} not active: {self.state}")
+        self.state = DriverState.PAUSED
+        return self.pause_cost_s
+
+    def resume(self) -> float:
+        if self.state is not DriverState.PAUSED:
+            raise TransplantError(f"driver {self.name} not paused: {self.state}")
+        self.state = DriverState.ACTIVE
+        return self.resume_cost_s
+
+
+class PassthroughDriver(GuestDriver):
+    """Driver for a pass-through device.
+
+    The driver's state lives in Guest State and is preserved untouched across
+    the transplant; only pause/resume notifications are needed.  A VM with a
+    pass-through device cannot be live-migrated (§4.2.3), which the migration
+    code enforces via :attr:`migratable`.
+    """
+
+    migratable = False
+    pause_cost_s = 0.004
+    resume_cost_s = 0.003
+
+
+class EmulatedDriver(GuestDriver):
+    """Driver for an emulated device whose VMM-side state is translated."""
+
+    migratable = True
+
+    def __init__(self, name: str, vmm_state_bytes: int = 4096):
+        super().__init__(name)
+        self.vmm_state_bytes = vmm_state_bytes
+
+
+class NetworkDriver(EmulatedDriver):
+    """Emulated NIC handled with the unplug/rescan strategy.
+
+    TCP connections survive the brief unplug because the guest keeps socket
+    state; only the interface disappears and reappears.  The *flavor* is
+    the paravirtual transport the interface rides (xen-netfront on Xen,
+    virtio-net on KVM): across a heterogeneous transplant the rescan
+    installs the target's native transport — the guest's multi-driver
+    kernel binds whichever device reappears.
+    """
+
+    unplug_cost_s = 0.010
+    rescan_cost_s = 0.050
+
+    def __init__(self, name: str = "net0", flavor: str = "xen-netfront"):
+        super().__init__(name, vmm_state_bytes=8192)
+        self.tcp_connections_alive = True
+        self.flavor = flavor
+
+    def unplug(self) -> float:
+        if self.state is not DriverState.ACTIVE:
+            raise TransplantError(f"driver {self.name} not active: {self.state}")
+        self.state = DriverState.UNPLUGGED
+        # Sockets stay open inside the guest.
+        self.tcp_connections_alive = True
+        return self.unplug_cost_s
+
+    def rescan(self, flavor: str = None) -> float:
+        if self.state is not DriverState.UNPLUGGED:
+            raise TransplantError(f"driver {self.name} not unplugged: {self.state}")
+        self.state = DriverState.ACTIVE
+        if flavor is not None:
+            self.flavor = flavor
+        return self.rescan_cost_s

@@ -1,0 +1,151 @@
+"""Architectural vCPU state.
+
+This is the hypervisor-*independent* architectural content (x86-64 general
+registers, segment registers, control registers, MSRs, FPU/XSAVE area).
+Each hypervisor packages it differently — Xen in HVM save records, KVM in
+``KVM_GET_REGS``/``KVM_GET_SREGS``/``KVM_GET_MSRS`` structs — and UISR is the
+neutral middle ground.
+"""
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+GP_REGISTERS = (
+    "rax", "rbx", "rcx", "rdx", "rsi", "rdi", "rbp", "rsp",
+    "r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+    "rip", "rflags",
+)
+
+SEGMENT_REGISTERS = ("cs", "ds", "es", "fs", "gs", "ss", "tr", "ldtr")
+
+CONTROL_REGISTERS = ("cr0", "cr2", "cr3", "cr4", "cr8", "efer")
+
+# Architectural MSRs every hypervisor must carry across.  The first block is
+# the classic syscall/segment set; the rest approximates the register file a
+# real save/restore moves (SYSENTER, TSC machinery, PMU counters, x2APIC
+# shadow, spec-ctrl), matching the paper's ~5 KB-per-vCPU UISR footprint.
+COMMON_MSRS = (
+    0xC0000080,  # IA32_EFER
+    0xC0000081,  # STAR
+    0xC0000082,  # LSTAR
+    0xC0000083,  # CSTAR
+    0xC0000084,  # FMASK
+    0xC0000100,  # FS_BASE
+    0xC0000101,  # GS_BASE
+    0xC0000102,  # KERNEL_GS_BASE
+    0xC0000103,  # TSC_AUX
+    0x00000010,  # TSC
+    0x0000003A,  # FEATURE_CONTROL
+    0x00000048,  # SPEC_CTRL
+    0x0000008B,  # MICROCODE_REV
+    0x000000E7,  # MPERF
+    0x000000E8,  # APERF
+    0x00000174,  # SYSENTER_CS
+    0x00000175,  # SYSENTER_ESP
+    0x00000176,  # SYSENTER_EIP
+    0x000001A0,  # MISC_ENABLE
+    0x000001D9,  # DEBUGCTL
+    0x00000277,  # PAT
+    0x000006E0,  # TSC_DEADLINE
+    0x00000D90,  # BNDCFGS
+    0x00000DA0,  # XSS
+) + tuple(0x00000309 + i for i in range(8)) \
+  + tuple(0x000004C1 + i for i in range(8)) \
+  + tuple(0x00000680 + i for i in range(16))  # LBR from-stack
+
+
+@dataclass(frozen=True)
+class SegmentDescriptor:
+    """A segment register's hidden-part cache (base/limit/selector/attrs)."""
+
+    selector: int
+    base: int
+    limit: int
+    attributes: int
+
+    def as_tuple(self) -> Tuple[int, int, int, int]:
+        return (self.selector, self.base, self.limit, self.attributes)
+
+
+@dataclass
+class VCPUState:
+    """Full architectural state of one virtual CPU."""
+
+    index: int
+    gp: Dict[str, int] = field(default_factory=dict)
+    segments: Dict[str, SegmentDescriptor] = field(default_factory=dict)
+    control: Dict[str, int] = field(default_factory=dict)
+    msrs: Dict[int, int] = field(default_factory=dict)
+    fpu: Tuple[int, ...] = ()
+    # XSAVE feature blocks live in PlatformState.xsave (one per vCPU); only
+    # the XCR0 control value is architectural per-vCPU state here.
+    xcr0: int = 1
+    apic_id: int = 0
+
+    def copy(self) -> "VCPUState":
+        return VCPUState(
+            index=self.index,
+            gp=dict(self.gp),
+            segments=dict(self.segments),
+            control=dict(self.control),
+            msrs=dict(self.msrs),
+            fpu=tuple(self.fpu),
+            xcr0=self.xcr0,
+            apic_id=self.apic_id,
+        )
+
+    def architectural_view(self) -> Tuple:
+        """A canonical, hashable projection used to compare states for
+        equality across format conversions."""
+        return (
+            self.index,
+            tuple(sorted(self.gp.items())),
+            tuple(sorted((n, s.as_tuple()) for n, s in self.segments.items())),
+            tuple(sorted(self.control.items())),
+            tuple(sorted(self.msrs.items())),
+            self.fpu,
+            self.xcr0,
+            self.apic_id,
+        )
+
+
+def make_boot_vcpu(index: int, seed: int = 0) -> VCPUState:
+    """Create a plausible running-guest vCPU state.
+
+    Values are deterministic in ``(index, seed)`` so tests and benchmarks are
+    reproducible.
+    """
+    rng = random.Random((seed << 16) ^ index)
+    gp = {reg: rng.getrandbits(64) for reg in GP_REGISTERS}
+    gp["rflags"] = 0x2 | (gp["rflags"] & 0xCD5)  # keep reserved bit 1 set
+    segments = {
+        name: SegmentDescriptor(
+            selector=(i + 1) << 3,
+            base=0 if name in ("cs", "ss") else rng.getrandbits(32),
+            limit=0xFFFFFFFF,
+            attributes=0xA09B if name == "cs" else 0xC093,
+        )
+        for i, name in enumerate(SEGMENT_REGISTERS)
+    }
+    control = {
+        "cr0": 0x80050033,
+        "cr2": rng.getrandbits(48),
+        "cr3": rng.getrandbits(40) & ~0xFFF,
+        "cr4": 0x3606E0,
+        "cr8": 0,
+        "efer": 0xD01,
+    }
+    msrs = {msr: rng.getrandbits(64) for msr in COMMON_MSRS}
+    # 512-byte FXSAVE area + 512 bytes of XMM spill, as 8-byte words.
+    fpu = tuple(rng.getrandbits(32) for _ in range(128))
+    return VCPUState(
+        index=index,
+        gp=gp,
+        segments=segments,
+        control=control,
+        msrs=msrs,
+        fpu=fpu,
+        xcr0=0x7,
+        apic_id=index,
+    )

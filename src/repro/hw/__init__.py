@@ -1,0 +1,32 @@
+"""Simulated hardware substrate.
+
+Models the physical machines of the paper's testbed (Table 3): machine specs,
+physical RAM with a frame allocator, NICs with initialization latency, and a
+bandwidth-limited network fabric connecting machines.
+"""
+
+from repro.hw.machine import (
+    Machine,
+    MachineSpec,
+    M1_SPEC,
+    M2_SPEC,
+    CLUSTER_NODE_SPEC,
+)
+from repro.hw.memory import Frame, PhysicalMemory, PAGE_4K, PAGE_2M
+from repro.hw.nic import NIC
+from repro.hw.network import Fabric, Link
+
+__all__ = [
+    "Machine",
+    "MachineSpec",
+    "M1_SPEC",
+    "M2_SPEC",
+    "CLUSTER_NODE_SPEC",
+    "Frame",
+    "PhysicalMemory",
+    "PAGE_4K",
+    "PAGE_2M",
+    "NIC",
+    "Fabric",
+    "Link",
+]

@@ -1,0 +1,200 @@
+"""Physical memory model with a frame allocator.
+
+Guest memory is tracked at frame granularity.  Frames carry a *content
+digest* rather than real bytes, so a 12 GB guest costs a few thousand Python
+objects (with 2 MB huge pages) while still letting tests verify the core
+HyperTP invariant: Guest State is bit-identical across a transplant.
+
+Frames can be *pinned* (registered with PRAM) which forbids the allocator
+from handing them out again after a micro-reboot — the mechanism the paper
+adds to both Xen and KVM so that kexec does not scribble over guest RAM
+(§4.2.4).
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.errors import FrameAllocationError, HardwareError
+
+PAGE_4K = 4 * 1024
+PAGE_2M = 2 * 1024 * 1024
+
+_VALID_PAGE_SIZES = (PAGE_4K, PAGE_2M)
+
+
+@dataclass
+class Frame:
+    """One physical frame (machine frame number + size + content digest)."""
+
+    mfn: int
+    size: int
+    digest: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size not in _VALID_PAGE_SIZES:
+            raise HardwareError(f"unsupported frame size {self.size}")
+
+
+@dataclass
+class _Region:
+    """A contiguous span of free 4K base frames [start, start + count)."""
+
+    start: int
+    count: int
+
+
+class PhysicalMemory:
+    """Frame allocator over a machine's RAM.
+
+    Internally everything is accounted in 4K base frames; 2 MB allocations
+    consume 512 aligned base frames.  Allocation is first-fit, which produces
+    the scattered layouts the PRAM structure must represent (Fig. 4).
+    """
+
+    def __init__(self, total_bytes: int):
+        if total_bytes <= 0 or total_bytes % PAGE_4K:
+            raise HardwareError(f"RAM size must be a positive 4K multiple: {total_bytes}")
+        self.total_bytes = total_bytes
+        self.total_base_frames = total_bytes // PAGE_4K
+        self._free: List[_Region] = [_Region(0, self.total_base_frames)]
+        self._allocated: Dict[int, Frame] = {}
+        self._pinned: Set[int] = set()
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def allocated_bytes(self) -> int:
+        return sum(f.size for f in self._allocated.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return self.total_bytes - self.allocated_bytes
+
+    def frame(self, mfn: int) -> Frame:
+        try:
+            return self._allocated[mfn]
+        except KeyError:
+            raise FrameAllocationError(f"mfn {mfn} is not allocated") from None
+
+    def is_allocated(self, mfn: int) -> bool:
+        return mfn in self._allocated
+
+    def is_pinned(self, mfn: int) -> bool:
+        return mfn in self._pinned
+
+    def allocated_frames(self) -> List[Frame]:
+        return list(self._allocated.values())
+
+    # -- allocation ------------------------------------------------------
+
+    def allocate(self, size: int = PAGE_4K, digest: int = 0) -> Frame:
+        """Allocate one frame of ``size`` bytes (first fit, aligned)."""
+        if size not in _VALID_PAGE_SIZES:
+            raise FrameAllocationError(f"unsupported allocation size {size}")
+        base_frames = size // PAGE_4K
+        for idx, region in enumerate(self._free):
+            start = self._align_up(region.start, base_frames)
+            skip = start - region.start
+            if region.count - skip >= base_frames:
+                self._carve(idx, start, base_frames)
+                frame = Frame(mfn=start, size=size, digest=digest)
+                self._allocated[start] = frame
+                return frame
+        raise FrameAllocationError(
+            f"out of memory: need {size} bytes, {self.free_bytes} free"
+        )
+
+    def allocate_many(self, count: int, size: int = PAGE_4K) -> List[Frame]:
+        """Allocate ``count`` frames; rolls back on partial failure."""
+        frames: List[Frame] = []
+        try:
+            for _ in range(count):
+                frames.append(self.allocate(size))
+        except FrameAllocationError:
+            for frame in frames:
+                self.free(frame.mfn)
+            raise
+        return frames
+
+    def free(self, mfn: int) -> None:
+        """Return a frame to the allocator."""
+        frame = self.frame(mfn)
+        if mfn in self._pinned:
+            raise FrameAllocationError(f"cannot free pinned frame mfn={mfn}")
+        del self._allocated[mfn]
+        self._insert_free(_Region(mfn, frame.size // PAGE_4K))
+
+    # -- pinning (PRAM protection across kexec) ---------------------------
+
+    def pin(self, mfn: int) -> None:
+        """Protect a frame from being freed or reused across micro-reboot."""
+        self.frame(mfn)
+        self._pinned.add(mfn)
+
+    def unpin(self, mfn: int) -> None:
+        self._pinned.discard(mfn)
+
+    def pinned_frames(self) -> List[Frame]:
+        return [self._allocated[m] for m in sorted(self._pinned)]
+
+    def reset_except_pinned(self) -> None:
+        """Re-initialize the allocator, keeping only pinned frames.
+
+        This is what the target hypervisor's early-boot PRAM parsing does: it
+        reserves every frame named by the PRAM structure and treats the rest
+        of RAM as free (§4.2.4).
+        """
+        survivors = {m: self._allocated[m] for m in self._pinned}
+        self._allocated = survivors
+        self._free = []
+        cursor = 0
+        for mfn in sorted(survivors):
+            frame = survivors[mfn]
+            if mfn > cursor:
+                self._free.append(_Region(cursor, mfn - cursor))
+            cursor = mfn + frame.size // PAGE_4K
+        if cursor < self.total_base_frames:
+            self._free.append(_Region(cursor, self.total_base_frames - cursor))
+
+    # -- content ----------------------------------------------------------
+
+    def write(self, mfn: int, digest: int) -> None:
+        """Overwrite a frame's contents (sets its digest)."""
+        self.frame(mfn).digest = digest
+
+    def read(self, mfn: int) -> int:
+        """Read a frame's content digest."""
+        return self.frame(mfn).digest
+
+    def digest_of(self, mfns: Iterable[int]) -> int:
+        """Combined digest over an ordered set of frames (guest image hash)."""
+        acc = 0
+        for mfn in mfns:
+            acc = (acc * 1000003 + self.frame(mfn).digest) & 0xFFFFFFFFFFFFFFFF
+        return acc
+
+    # -- internals ---------------------------------------------------------
+
+    @staticmethod
+    def _align_up(value: int, alignment: int) -> int:
+        return (value + alignment - 1) // alignment * alignment
+
+    def _carve(self, idx: int, start: int, base_frames: int) -> None:
+        region = self._free.pop(idx)
+        before = _Region(region.start, start - region.start)
+        after_start = start + base_frames
+        after = _Region(after_start, region.start + region.count - after_start)
+        replacement = [r for r in (before, after) if r.count > 0]
+        self._free[idx:idx] = replacement
+
+    def _insert_free(self, region: _Region) -> None:
+        # Keep the free list sorted and coalesced.
+        self._free.append(region)
+        self._free.sort(key=lambda r: r.start)
+        merged: List[_Region] = []
+        for r in self._free:
+            if merged and merged[-1].start + merged[-1].count == r.start:
+                merged[-1].count += r.count
+            else:
+                merged.append(_Region(r.start, r.count))
+        self._free = merged

@@ -1,0 +1,65 @@
+"""Network fabric connecting machines.
+
+A :class:`Fabric` is a set of full-duplex :class:`Link` objects between named
+machines.  Migration code asks the fabric for the effective transfer rate
+between a source and a destination; the rate is bounded by the slower of the
+two NICs and the link itself, with fair sharing across concurrent flows.
+"""
+
+from typing import Dict, Optional, Tuple
+
+from repro.errors import HardwareError
+from repro.hw.machine import Machine
+from repro.sim.resources import BandwidthLink, effective_tcp_rate
+
+
+class Link:
+    """A point-to-point (or switch-mediated) link between two machines."""
+
+    def __init__(self, a: Machine, b: Machine, latency_s: float = 0.0005):
+        rate = min(a.nic.rate_bytes_per_s, b.nic.rate_bytes_per_s)
+        self.a = a
+        self.b = b
+        self.pipe = BandwidthLink(effective_tcp_rate(rate), latency_s=latency_s)
+        self.active_flows = 0
+
+    def endpoints(self) -> Tuple[str, str]:
+        return (self.a.name, self.b.name)
+
+    def transfer_time(self, nbytes: float, concurrent: Optional[int] = None) -> float:
+        """Seconds to transfer ``nbytes`` given current (or given) contention."""
+        flows = concurrent if concurrent is not None else max(1, self.active_flows)
+        return self.pipe.transfer_time(nbytes, concurrent=flows)
+
+
+class Fabric:
+    """Registry of links between machines, keyed by unordered name pairs."""
+
+    def __init__(self):
+        self._links: Dict[frozenset, Link] = {}
+
+    def connect(self, a: Machine, b: Machine, latency_s: float = 0.0005) -> Link:
+        if a is b:
+            raise HardwareError("cannot connect a machine to itself")
+        key = frozenset((a.name, b.name))
+        link = Link(a, b, latency_s=latency_s)
+        self._links[key] = link
+        return link
+
+    def link_between(self, a: Machine, b: Machine) -> Link:
+        key = frozenset((a.name, b.name))
+        try:
+            return self._links[key]
+        except KeyError:
+            raise HardwareError(f"no link between {a.name} and {b.name}") from None
+
+    def connected(self, a: Machine, b: Machine) -> bool:
+        return frozenset((a.name, b.name)) in self._links
+
+    def full_mesh(self, machines) -> None:
+        """Connect every pair of machines (the cluster testbed topology)."""
+        machines = list(machines)
+        for i, a in enumerate(machines):
+            for b in machines[i + 1:]:
+                if not self.connected(a, b):
+                    self.connect(a, b)

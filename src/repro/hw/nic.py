@@ -1,0 +1,35 @@
+"""Network interface card model.
+
+The only NIC behaviour the paper's evaluation depends on is (a) its line
+rate, which bounds migration throughput, and (b) its (re)initialization
+latency after a micro-reboot — the ``Network`` bar in Fig. 6 (6.6 s on M1,
+2.3 s on M2), which is reported separately from downtime because
+network-independent workloads do not observe it.
+"""
+
+from repro.errors import HardwareError
+
+
+class NIC:
+    """A NIC with a line rate and a driver-initialization delay."""
+
+    def __init__(self, rate_bytes_per_s: float, init_s: float):
+        if rate_bytes_per_s <= 0:
+            raise HardwareError("NIC rate must be positive")
+        if init_s < 0:
+            raise HardwareError("NIC init time must be non-negative")
+        self.rate_bytes_per_s = float(rate_bytes_per_s)
+        self.init_s = float(init_s)
+        self.link_up = True
+
+    def reset(self) -> float:
+        """Take the link down (micro-reboot); returns re-init duration."""
+        self.link_up = False
+        return self.init_s
+
+    def bring_up(self) -> None:
+        self.link_up = True
+
+    def __repr__(self) -> str:
+        state = "up" if self.link_up else "down"
+        return f"NIC({self.rate_bytes_per_s / 1e6:.0f} MB/s, {state})"

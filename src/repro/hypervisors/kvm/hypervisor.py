@@ -1,0 +1,86 @@
+"""The KVM-like type-II hypervisor (host Linux + kvm module + kvmtool).
+
+A single kernel boots on micro-reboot (versus Xen's hypervisor + dom0 pair),
+which is the structural reason InPlaceTP *into* KVM is the fast direction
+(Fig. 6 vs Fig. 10).  Per-domain user-space VMMs (:class:`KvmtoolVMM`) own the
+ioctl traffic.
+"""
+
+from typing import Dict
+
+from repro.errors import HypervisorError
+from repro.guest.vm import VirtualMachine
+from repro.hypervisors.base import (
+    Domain,
+    Hypervisor,
+    HypervisorKind,
+    HypervisorType,
+    NestedPageTable,
+)
+from repro.hypervisors.kvm import formats
+from repro.hypervisors.kvm.kvmtool import KvmtoolVMM
+from repro.hypervisors.kvm.npt import build_ept
+from repro.hypervisors.kvm.scheduler import CFSScheduler
+
+
+class KVMHypervisor(Hypervisor):
+    """Linux 5.3 + kvm module, with kvmtool as the per-VM VMM."""
+
+    kind = HypervisorKind.KVM
+    hv_type = HypervisorType.TYPE_2
+    # Host Linux working set + kvm module (HV State).
+    hv_state_bytes = 80 << 20
+
+    #: number of kernels the micro-reboot path must start (just Linux)
+    boot_kernel_count = 1
+
+    def __init__(self):
+        super().__init__()
+        self.scheduler = CFSScheduler(cpus=1)
+        self.vmms: Dict[int, KvmtoolVMM] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def boot(self, machine) -> None:
+        super().boot(machine)
+        self.scheduler = CFSScheduler(cpus=machine.spec.threads)
+
+    # -- NPT -----------------------------------------------------------------
+
+    def build_npt(self, vm: VirtualMachine) -> NestedPageTable:
+        return build_ept(vm)
+
+    # -- platform state (via kvmtool) -----------------------------------------
+
+    def vmm_for(self, domid: int) -> KvmtoolVMM:
+        try:
+            return self.vmms[domid]
+        except KeyError:
+            raise HypervisorError(f"no kvmtool VMM for domain {domid}") from None
+
+    def save_platform_state(self, domain: Domain) -> bytes:
+        bundle = self.vmm_for(domain.domid).read_state_bundle()
+        blob = formats.pack_bundle(bundle)
+        domain.native_state_blob = blob
+        return blob
+
+    def load_platform_state(self, domain: Domain, blob: bytes) -> None:
+        bundle = formats.unpack_bundle(blob)
+        self.vmm_for(domain.domid).apply_state_bundle(bundle)
+
+    # -- VM management state ----------------------------------------------------
+
+    def _on_domain_added(self, domain: Domain) -> None:
+        self.scheduler.add_domain(domain.domid, domain.vm.config.vcpus)
+        self.vmms[domain.domid] = KvmtoolVMM(self, domain)
+
+    def _on_domain_removed(self, domain: Domain) -> None:
+        self.scheduler.remove_domain(domain.domid)
+        self.vmms.pop(domain.domid, None)
+
+    def rebuild_management_state(self) -> None:
+        """Reconstruct CFS runqueues from VM_i states (post-transplant)."""
+        self.scheduler.rebuild(self.domains.values())
+
+    def scheduler_report(self) -> Dict[str, object]:
+        return self.scheduler.report()

@@ -1,0 +1,39 @@
+"""KVM's EPT-style MMU — nested page table with KVM's management policy.
+
+Same hardware-dictated GFN->MFN mapping as Xen's p2m, but with a different
+management policy: KVM keeps shadow-MMU bookkeeping (rmap lists on the host
+side) instead of Xen's m2p table and PV type tags, and its per-entry metadata
+is lighter.  The transplant's NPT *translation* is exactly this policy swap.
+"""
+
+from typing import Dict
+
+from repro.guest.vm import VirtualMachine
+from repro.hw.memory import PAGE_4K
+from repro.hypervisors.base import NestedPageTable
+
+# 8 B EPT entry + 8 B rmap slot per mapped guest page.
+_EPT_BYTES_PER_ENTRY = 16
+_EPT_ROOT_OVERHEAD = 2 * PAGE_4K
+
+KVM_NPT_POLICY = "kvm-ept"
+
+
+class KVMEpt(NestedPageTable):
+    """Concrete NPT with KVM's EPT/shadow-MMU policy."""
+
+    def __init__(self, gfn_to_mfn: Dict[int, int], page_size: int):
+        metadata = _EPT_ROOT_OVERHEAD + _EPT_BYTES_PER_ENTRY * len(gfn_to_mfn)
+        super().__init__(
+            gfn_to_mfn=gfn_to_mfn,
+            page_size=page_size,
+            policy_tag=KVM_NPT_POLICY,
+            metadata_bytes=metadata,
+        )
+        # Host-side reverse-map slots (rebuilt lazily on faults in real KVM).
+        self.rmap_slots = len(gfn_to_mfn)
+
+
+def build_ept(vm: VirtualMachine) -> KVMEpt:
+    """Construct the EPT for a VM from its guest image mapping."""
+    return KVMEpt(dict(vm.image.mappings()), vm.image.page_size)

@@ -1,0 +1,238 @@
+"""Xen PV interfaces: event channels and grant tables.
+
+These are the mechanisms behind 38.4 % of Xen's critical vulnerabilities
+(§2.1) and the reason Xen PV guests cannot be transplanted at all (§4.1
+footnote: PV couples guests tightly to the Xen API).  HVM guests still use
+them through their PV *drivers* (netfront/blkfront), which is why the
+§4.2.3 unplug/rescan strategy exists: the channels and grants are Xen-only
+state, torn down before the micro-reboot and re-created as virtio queues on
+the KVM side.
+
+Both structures are classic VM_i State: hypervisor-dependent, per-domain,
+and discarded (not translated) because the target hypervisor's paravirtual
+transport is a different mechanism entirely.
+"""
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import HypervisorError
+
+MAX_EVENT_CHANNELS = 4096
+GRANT_TABLE_ENTRIES = 1024
+
+
+class ChannelKind(enum.Enum):
+    UNBOUND = "unbound"
+    INTERDOMAIN = "interdomain"
+    VIRQ = "virq"
+
+
+@dataclass
+class EventChannel:
+    """One event-channel port of one domain."""
+
+    port: int
+    domid: int
+    kind: ChannelKind
+    remote_domid: Optional[int] = None
+    remote_port: Optional[int] = None
+    virq: Optional[int] = None
+    pending: bool = False
+    masked: bool = False
+
+
+class EventChannelTable:
+    """All domains' event channels on one Xen host."""
+
+    def __init__(self, max_channels: int = MAX_EVENT_CHANNELS):
+        self.max_channels = max_channels
+        self._channels: Dict[Tuple[int, int], EventChannel] = {}
+        self._next_port: Dict[int, int] = {}
+
+    def _alloc_port(self, domid: int) -> int:
+        port = self._next_port.get(domid, 1)
+        if port >= self.max_channels:
+            raise HypervisorError(
+                f"domain {domid}: event-channel ports exhausted"
+            )
+        self._next_port[domid] = port + 1
+        return port
+
+    def alloc_unbound(self, domid: int, remote_domid: int) -> EventChannel:
+        """EVTCHNOP_alloc_unbound: a port awaiting a remote bind."""
+        port = self._alloc_port(domid)
+        channel = EventChannel(port=port, domid=domid,
+                               kind=ChannelKind.UNBOUND,
+                               remote_domid=remote_domid)
+        self._channels[(domid, port)] = channel
+        return channel
+
+    def bind_interdomain(self, domid: int, remote_domid: int,
+                         remote_port: int) -> EventChannel:
+        """EVTCHNOP_bind_interdomain: connect to a remote unbound port."""
+        remote = self.get(remote_domid, remote_port)
+        if remote.kind is not ChannelKind.UNBOUND:
+            raise HypervisorError(
+                f"remote port {remote_port} of domain {remote_domid} "
+                f"is {remote.kind.value}, not unbound"
+            )
+        if remote.remote_domid != domid:
+            raise HypervisorError(
+                f"remote port {remote_port} reserved for domain "
+                f"{remote.remote_domid}, not {domid}"
+            )
+        port = self._alloc_port(domid)
+        local = EventChannel(port=port, domid=domid,
+                             kind=ChannelKind.INTERDOMAIN,
+                             remote_domid=remote_domid,
+                             remote_port=remote_port)
+        self._channels[(domid, port)] = local
+        remote.kind = ChannelKind.INTERDOMAIN
+        remote.remote_port = port
+        return local
+
+    def bind_virq(self, domid: int, virq: int) -> EventChannel:
+        """EVTCHNOP_bind_virq: timer/debug virtual interrupts."""
+        for channel in self.channels_of(domid):
+            if channel.kind is ChannelKind.VIRQ and channel.virq == virq:
+                raise HypervisorError(
+                    f"domain {domid} already bound VIRQ {virq}"
+                )
+        port = self._alloc_port(domid)
+        channel = EventChannel(port=port, domid=domid,
+                               kind=ChannelKind.VIRQ, virq=virq)
+        self._channels[(domid, port)] = channel
+        return channel
+
+    def send(self, domid: int, port: int) -> None:
+        """EVTCHNOP_send: raise the event on the peer end."""
+        channel = self.get(domid, port)
+        if channel.kind is not ChannelKind.INTERDOMAIN:
+            raise HypervisorError(
+                f"port {port} of domain {domid} is not interdomain"
+            )
+        peer = self.get(channel.remote_domid, channel.remote_port)
+        if not peer.masked:
+            peer.pending = True
+
+    def get(self, domid: int, port: int) -> EventChannel:
+        try:
+            return self._channels[(domid, port)]
+        except KeyError:
+            raise HypervisorError(
+                f"domain {domid} has no event channel on port {port}"
+            ) from None
+
+    def close(self, domid: int, port: int) -> None:
+        channel = self.get(domid, port)
+        if channel.kind is ChannelKind.INTERDOMAIN and \
+                channel.remote_port is not None:
+            peer = self._channels.get(
+                (channel.remote_domid, channel.remote_port)
+            )
+            if peer is not None:
+                peer.kind = ChannelKind.UNBOUND
+                peer.remote_port = None
+        del self._channels[(domid, port)]
+
+    def close_domain(self, domid: int) -> int:
+        """Close every channel of a dying/transplanting domain."""
+        ports = [p for (d, p) in self._channels if d == domid]
+        for port in ports:
+            self.close(domid, port)
+        self._next_port.pop(domid, None)
+        return len(ports)
+
+    def channels_of(self, domid: int) -> List[EventChannel]:
+        return [c for (d, _), c in sorted(self._channels.items())
+                if d == domid]
+
+    def total(self) -> int:
+        return len(self._channels)
+
+
+@dataclass
+class GrantEntry:
+    """One grant-table slot: a page shared with another domain."""
+
+    ref: int
+    gfn: int
+    granted_to: int
+    writable: bool
+    in_use: bool = False  # mapped by the grantee
+
+
+class GrantTable:
+    """One domain's grant table."""
+
+    def __init__(self, domid: int, entries: int = GRANT_TABLE_ENTRIES):
+        self.domid = domid
+        self.capacity = entries
+        self._entries: Dict[int, GrantEntry] = {}
+        self._next_ref = 0
+
+    def grant(self, gfn: int, granted_to: int,
+              writable: bool = True) -> GrantEntry:
+        if len(self._entries) >= self.capacity:
+            raise HypervisorError(
+                f"domain {self.domid}: grant table full"
+            )
+        ref = self._next_ref
+        self._next_ref += 1
+        entry = GrantEntry(ref=ref, gfn=gfn, granted_to=granted_to,
+                           writable=writable)
+        self._entries[ref] = entry
+        return entry
+
+    def map(self, ref: int, mapper_domid: int) -> GrantEntry:
+        entry = self._get(ref)
+        if entry.granted_to != mapper_domid:
+            raise HypervisorError(
+                f"grant {ref} of domain {self.domid} is for domain "
+                f"{entry.granted_to}, not {mapper_domid}"
+            )
+        entry.in_use = True
+        return entry
+
+    def unmap(self, ref: int) -> None:
+        self._get(ref).in_use = False
+
+    def revoke(self, ref: int) -> None:
+        entry = self._get(ref)
+        if entry.in_use:
+            raise HypervisorError(
+                f"grant {ref} of domain {self.domid} is still mapped"
+            )
+        del self._entries[ref]
+
+    def revoke_all(self) -> int:
+        """Teardown before transplant: every grant must be unmapped first."""
+        still_mapped = [e.ref for e in self._entries.values() if e.in_use]
+        if still_mapped:
+            raise HypervisorError(
+                f"domain {self.domid}: grants still mapped: {still_mapped}"
+            )
+        count = len(self._entries)
+        self._entries.clear()
+        return count
+
+    def force_unmap_all(self) -> None:
+        """Device quiesce path: the backend unmaps everything it held."""
+        for entry in self._entries.values():
+            entry.in_use = False
+
+    def _get(self, ref: int) -> GrantEntry:
+        try:
+            return self._entries[ref]
+        except KeyError:
+            raise HypervisorError(
+                f"domain {self.domid} has no grant {ref}"
+            ) from None
+
+    def active(self) -> List[GrantEntry]:
+        return [e for e in self._entries.values() if e.in_use]
+
+    def __len__(self) -> int:
+        return len(self._entries)

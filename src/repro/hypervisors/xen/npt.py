@@ -1,0 +1,44 @@
+"""Xen's p2m (physical-to-machine) nested page table.
+
+The NPT *mapping* is dictated by hardware (EPT/NPT entries translate guest
+frames to machine frames), but each hypervisor has its own management policy
+around it (§3.1).  Xen maintains a p2m tree plus an m2p reverse table and
+type tags per entry (its PV heritage) — that extra metadata is why a Xen NPT
+is bigger than KVM's for the same guest, and why the structure must be
+*translated*, not copied, during transplant.
+"""
+
+from typing import Dict
+
+from repro.guest.vm import VirtualMachine
+from repro.hw.memory import PAGE_4K
+from repro.hypervisors.base import NestedPageTable
+
+# Bytes of p2m/m2p metadata per mapped guest page (8 B PTE + 8 B m2p entry
+# + type/accounting tags).
+_P2M_BYTES_PER_ENTRY = 24
+_P2M_ROOT_OVERHEAD = 4 * PAGE_4K
+
+XEN_NPT_POLICY = "xen-p2m"
+
+
+class XenP2M(NestedPageTable):
+    """Concrete NPT with Xen's p2m policy and an m2p reverse map."""
+
+    def __init__(self, gfn_to_mfn: Dict[int, int], page_size: int):
+        metadata = _P2M_ROOT_OVERHEAD + _P2M_BYTES_PER_ENTRY * len(gfn_to_mfn)
+        super().__init__(
+            gfn_to_mfn=gfn_to_mfn,
+            page_size=page_size,
+            policy_tag=XEN_NPT_POLICY,
+            metadata_bytes=metadata,
+        )
+        self.m2p = {mfn: gfn for gfn, mfn in gfn_to_mfn.items()}
+
+    def reverse_lookup(self, mfn: int) -> int:
+        return self.m2p[mfn]
+
+
+def build_p2m(vm: VirtualMachine) -> XenP2M:
+    """Construct the p2m for a VM from its guest image mapping."""
+    return XenP2M(dict(vm.image.mappings()), vm.image.page_size)

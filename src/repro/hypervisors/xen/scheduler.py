@@ -1,0 +1,81 @@
+"""Xen credit scheduler — VM Management State.
+
+The scheduler's run queues reference per-domain vCPU structures; the paper
+classifies this as *VM Management State*: hypervisor-dependent but never
+translated, because it can be rebuilt from the VM_i States after transplant
+(Fig. 2).  We model exactly that: queues are derived data, and ``rebuild``
+reconstructs them from the domain list.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+DEFAULT_WEIGHT = 256
+DEFAULT_CAP = 0  # uncapped
+
+
+@dataclass
+class CreditVCPU:
+    """Per-vCPU credit accounting entry."""
+
+    domid: int
+    vcpu_index: int
+    credit: int = 300
+    weight: int = DEFAULT_WEIGHT
+    cap: int = DEFAULT_CAP
+
+
+@dataclass
+class CreditRunqueue:
+    """One physical CPU's run queue."""
+
+    pcpu: int
+    entries: List[CreditVCPU] = field(default_factory=list)
+
+
+class CreditScheduler:
+    """Credit-scheduler queues over a machine's physical CPUs."""
+
+    def __init__(self, pcpus: int):
+        self.pcpus = max(1, pcpus)
+        self.runqueues: List[CreditRunqueue] = [
+            CreditRunqueue(p) for p in range(self.pcpus)
+        ]
+        self._weights: Dict[int, int] = {}
+
+    def add_domain(self, domid: int, vcpus: int,
+                   weight: int = DEFAULT_WEIGHT) -> None:
+        self._weights[domid] = weight
+        for index in range(vcpus):
+            queue = self.runqueues[(domid + index) % self.pcpus]
+            queue.entries.append(
+                CreditVCPU(domid=domid, vcpu_index=index, weight=weight)
+            )
+
+    def remove_domain(self, domid: int) -> None:
+        self._weights.pop(domid, None)
+        for queue in self.runqueues:
+            queue.entries = [e for e in queue.entries if e.domid != domid]
+
+    def rebuild(self, domains) -> None:
+        """Reconstruct all queues from scratch (post-transplant path)."""
+        weights = dict(self._weights)
+        self.runqueues = [CreditRunqueue(p) for p in range(self.pcpus)]
+        self._weights = {}
+        for domain in domains:
+            self.add_domain(
+                domain.domid,
+                domain.vm.config.vcpus,
+                weight=weights.get(domain.domid, DEFAULT_WEIGHT),
+            )
+
+    def queued_vcpus(self) -> int:
+        return sum(len(q.entries) for q in self.runqueues)
+
+    def report(self) -> Dict[str, object]:
+        return {
+            "scheduler": "credit",
+            "pcpus": self.pcpus,
+            "queued_vcpus": self.queued_vcpus(),
+            "domains": sorted(self._weights),
+        }

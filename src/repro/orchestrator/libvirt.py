@@ -1,0 +1,98 @@
+"""libvirt-like façade (the G2 interaction path of §4.5.1).
+
+One connection object per host exposes the same verbs regardless of whether
+Xen or KVM runs underneath — exactly the property that lets HyperTP swap the
+hypervisor without sysadmins noticing.  URIs follow libvirt's convention
+(``xen:///system``, ``qemu:///system``).
+"""
+
+from typing import Dict, List
+
+from repro.errors import OrchestratorError
+from repro.guest.vm import VMConfig, VMState
+from repro.hw.machine import Machine
+from repro.hypervisors.base import Domain, HypervisorKind
+
+_URI_BY_KIND = {
+    HypervisorKind.XEN: "xen:///system",
+    HypervisorKind.KVM: "qemu:///system",
+    HypervisorKind.NOVA: "nova:///system",
+}
+
+
+class LibvirtDomainHandle:
+    """A stable per-VM handle that survives hypervisor transplants."""
+
+    def __init__(self, connection: "LibvirtConnection", vm_name: str):
+        self._conn = connection
+        self.vm_name = vm_name
+
+    def _domain(self) -> Domain:
+        return self._conn._domain_by_name(self.vm_name)
+
+    def info(self) -> Dict[str, object]:
+        domain = self._domain()
+        return {
+            "name": self.vm_name,
+            "state": domain.vm.state.value,
+            "vcpus": domain.vm.config.vcpus,
+            "memory_bytes": domain.vm.image.size_bytes,
+            "hypervisor": self._conn.uri,
+        }
+
+    def suspend(self, now: float = 0.0) -> None:
+        self._conn.hypervisor.pause_domain(self._domain().domid, now)
+
+    def resume(self, now: float = 0.0) -> None:
+        self._conn.hypervisor.resume_domain(self._domain().domid, now)
+
+    def is_active(self) -> bool:
+        return self._domain().vm.state is VMState.RUNNING
+
+
+class LibvirtConnection:
+    """A hypervisor-agnostic control connection to one host."""
+
+    def __init__(self, machine: Machine):
+        if machine.hypervisor is None:
+            raise OrchestratorError(f"{machine.name}: no hypervisor to connect to")
+        self.machine = machine
+
+    @property
+    def hypervisor(self):
+        hv = self.machine.hypervisor
+        if hv is None:
+            raise OrchestratorError(
+                f"{self.machine.name}: hypervisor connection lost"
+            )
+        return hv
+
+    @property
+    def uri(self) -> str:
+        """The libvirt URI — this is how an admin sees the transplant."""
+        return _URI_BY_KIND[self.hypervisor.kind]
+
+    # -- domain management ---------------------------------------------------
+
+    def define_and_start(self, config: VMConfig) -> LibvirtDomainHandle:
+        self.hypervisor.create_vm(config)
+        return LibvirtDomainHandle(self, config.name)
+
+    def lookup(self, vm_name: str) -> LibvirtDomainHandle:
+        self._domain_by_name(vm_name)  # existence check
+        return LibvirtDomainHandle(self, vm_name)
+
+    def list_domains(self) -> List[str]:
+        return sorted(d.vm.name for d in self.hypervisor.domains.values())
+
+    def destroy(self, vm_name: str) -> None:
+        domain = self._domain_by_name(vm_name)
+        self.hypervisor.destroy_domain(domain.domid)
+
+    def _domain_by_name(self, vm_name: str) -> Domain:
+        for domain in self.hypervisor.domains.values():
+            if domain.vm.name == vm_name:
+                return domain
+        raise OrchestratorError(
+            f"{self.machine.name}: no domain named {vm_name!r}"
+        )

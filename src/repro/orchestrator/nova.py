@@ -1,0 +1,129 @@
+"""Nova-style compute manager with the host-live-upgrade API (§4.5.2).
+
+``NovaCompute`` owns the per-host drivers and an internal database of host
+records (which hypervisor each host runs).  Its ``host_live_upgrade``
+reproduces the paper's workflow: migrate away VMs that do not support
+HyperTP, save the rest, trigger the upgrade, update the database, restore.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import OrchestratorError
+from repro.hw.machine import Machine
+from repro.hw.network import Fabric
+from repro.hypervisors.base import HypervisorKind
+from repro.sim.clock import SimClock
+from repro.core.inplace import InPlaceReport
+from repro.core.migration import MigrationReport
+from repro.orchestrator.compute_driver import LibvirtComputeDriver
+
+
+@dataclass
+class HostRecord:
+    """Nova's database row for one compute host."""
+
+    host: str
+    hypervisor_type: str
+    hypervisor_version: str = "simulated"
+    upgrades: int = 0
+
+
+@dataclass
+class HostUpgradeResult:
+    """Outcome of one host_live_upgrade call."""
+
+    host: str
+    migrated_away: List[MigrationReport] = field(default_factory=list)
+    inplace: Optional[InPlaceReport] = None
+
+    @property
+    def vm_disruption_s(self) -> float:
+        downtimes = [r.downtime_s for r in self.migrated_away]
+        if self.inplace is not None:
+            downtimes.append(self.inplace.downtime_s)
+        return max(downtimes, default=0.0)
+
+
+class NovaCompute:
+    """The compute-service manager for a set of hosts."""
+
+    def __init__(self, fabric: Optional[Fabric] = None):
+        self.fabric = fabric
+        self.drivers: Dict[str, LibvirtComputeDriver] = {}
+        self.database: Dict[str, HostRecord] = {}
+
+    # -- host registration ---------------------------------------------------
+
+    def register_host(self, machine: Machine) -> LibvirtComputeDriver:
+        if machine.name in self.drivers:
+            raise OrchestratorError(f"host {machine.name} already registered")
+        driver = LibvirtComputeDriver(machine, fabric=self.fabric)
+        self.drivers[machine.name] = driver
+        self.database[machine.name] = HostRecord(
+            host=machine.name,
+            hypervisor_type=driver.hypervisor_kind.value,
+        )
+        return driver
+
+    def driver_for(self, host: str) -> LibvirtComputeDriver:
+        try:
+            return self.drivers[host]
+        except KeyError:
+            raise OrchestratorError(f"unknown host {host!r}") from None
+
+    def hosts_running(self, kind: HypervisorKind) -> List[str]:
+        return sorted(
+            host for host, record in self.database.items()
+            if record.hypervisor_type == kind.value
+        )
+
+    # -- the new API ----------------------------------------------------------
+
+    def host_live_upgrade(self, host: str, target: HypervisorKind,
+                          clock: Optional[SimClock] = None,
+                          evacuation_host: Optional[str] = None
+                          ) -> HostUpgradeResult:
+        """Upgrade one host's hypervisor with HyperTP.
+
+        Steps (paper §4.5.2): (1) live-migrate VMs that do not support
+        HyperTP to ``evacuation_host``; (2) save remaining guests + trigger
+        the host upgrade through the driver; (3) update the Nova database;
+        (4) the driver restores all VMs on the upgraded host.
+        """
+        clock = clock or SimClock()
+        driver = self.driver_for(host)
+        if driver.hypervisor_kind is target:
+            raise OrchestratorError(
+                f"{host} already runs {target.value}; nothing to upgrade"
+            )
+        result = HostUpgradeResult(host=host)
+
+        hv = driver.connection.hypervisor
+        incompatible = [
+            d.vm.name
+            for d in sorted(hv.domains.values(), key=lambda d: d.domid)
+            if not d.vm.config.inplace_compatible
+        ]
+        if incompatible:
+            if evacuation_host is None:
+                raise OrchestratorError(
+                    f"{host}: {len(incompatible)} VMs need evacuation but "
+                    f"no evacuation host was given"
+                )
+            dest = self.driver_for(evacuation_host)
+            if dest.hypervisor_kind is not target:
+                raise OrchestratorError(
+                    f"evacuation host {evacuation_host} must already run "
+                    f"{target.value}"
+                )
+            for vm_name in incompatible:
+                result.migrated_away.append(
+                    driver.live_migration(vm_name, dest, clock)
+                )
+
+        result.inplace = driver.hypertp_host_upgrade(target, clock)
+        record = self.database[host]
+        record.hypervisor_type = target.value
+        record.upgrades += 1
+        return result

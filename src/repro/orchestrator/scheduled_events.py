@@ -1,0 +1,157 @@
+"""Scheduled-events service (the Azure Scheduled Events API analogue).
+
+The paper notifies guests before a transplant "similarly to what is done on
+Azure with the Scheduled Events API" (§4.2.3) and adopts Azure's 30-second
+maintenance bound as the acceptable-downtime ceiling (§1).  This module
+implements that notification plane: the operator posts maintenance events,
+guests poll/acknowledge them, and the transplant machinery can require
+acknowledgement (or a timeout) before pausing.
+"""
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import OrchestratorError
+
+#: Azure's documented not-to-exceed downtime for maintenance operations.
+AZURE_MAINTENANCE_BOUND_S = 30.0
+
+#: Azure gives guests this much notice before acting.
+DEFAULT_NOTICE_S = 15 * 60.0
+
+
+class EventType(enum.Enum):
+    FREEZE = "freeze"      # brief pause (InPlaceTP)
+    REDEPLOY = "redeploy"  # VM moves hosts (MigrationTP)
+    REBOOT = "reboot"      # full restart (not used by HyperTP)
+
+
+class EventState(enum.Enum):
+    SCHEDULED = "scheduled"
+    ACKNOWLEDGED = "acknowledged"
+    STARTED = "started"
+    COMPLETED = "completed"
+    CANCELLED = "cancelled"
+
+
+@dataclass
+class MaintenanceEvent:
+    """One scheduled maintenance operation against one VM."""
+
+    event_id: str
+    vm_name: str
+    event_type: EventType
+    not_before: float  # earliest simulated time the operation may start
+    expected_duration_s: float
+    state: EventState = EventState.SCHEDULED
+    description: str = ""
+
+    def is_pending(self) -> bool:
+        return self.state in (EventState.SCHEDULED, EventState.ACKNOWLEDGED)
+
+
+class ScheduledEventsService:
+    """Per-datacenter event plane: post, poll, acknowledge, complete."""
+
+    def __init__(self, notice_s: float = DEFAULT_NOTICE_S):
+        if notice_s < 0:
+            raise OrchestratorError("notice period cannot be negative")
+        self.notice_s = notice_s
+        self._events: Dict[str, MaintenanceEvent] = {}
+        self._serial = itertools.count(1)
+
+    # -- operator side ---------------------------------------------------------
+
+    def post(self, vm_name: str, event_type: EventType, now: float,
+             expected_duration_s: float,
+             description: str = "") -> MaintenanceEvent:
+        if expected_duration_s > AZURE_MAINTENANCE_BOUND_S and \
+                event_type is EventType.FREEZE:
+            raise OrchestratorError(
+                f"freeze of {expected_duration_s:.1f}s exceeds the "
+                f"{AZURE_MAINTENANCE_BOUND_S:.0f}s maintenance bound; "
+                f"schedule a redeploy (migration) instead"
+            )
+        event = MaintenanceEvent(
+            event_id=f"evt-{next(self._serial):06d}",
+            vm_name=vm_name,
+            event_type=event_type,
+            not_before=now + self.notice_s,
+            expected_duration_s=expected_duration_s,
+            description=description,
+        )
+        self._events[event.event_id] = event
+        return event
+
+    def start(self, event_id: str, now: float,
+              require_ack: bool = False) -> MaintenanceEvent:
+        event = self._get(event_id)
+        if not event.is_pending():
+            raise OrchestratorError(
+                f"{event_id} is {event.state.value}; cannot start"
+            )
+        if now < event.not_before:
+            raise OrchestratorError(
+                f"{event_id} may not start before t={event.not_before:.0f} "
+                f"(now {now:.0f}) — guests were promised notice"
+            )
+        if require_ack and event.state is not EventState.ACKNOWLEDGED:
+            raise OrchestratorError(
+                f"{event_id} not acknowledged by {event.vm_name}"
+            )
+        event.state = EventState.STARTED
+        return event
+
+    def complete(self, event_id: str) -> None:
+        event = self._get(event_id)
+        if event.state is not EventState.STARTED:
+            raise OrchestratorError(
+                f"{event_id} is {event.state.value}; cannot complete"
+            )
+        event.state = EventState.COMPLETED
+
+    def cancel(self, event_id: str) -> None:
+        event = self._get(event_id)
+        if not event.is_pending():
+            raise OrchestratorError(
+                f"{event_id} is {event.state.value}; cannot cancel"
+            )
+        event.state = EventState.CANCELLED
+
+    # -- guest side ---------------------------------------------------------------
+
+    def poll(self, vm_name: str) -> List[MaintenanceEvent]:
+        """What a guest's agent sees when it polls the metadata endpoint."""
+        return sorted(
+            (e for e in self._events.values()
+             if e.vm_name == vm_name and e.is_pending()),
+            key=lambda e: e.not_before,
+        )
+
+    def acknowledge(self, event_id: str) -> None:
+        """Guest agent: 'I have quiesced; proceed when ready.'
+
+        Acknowledging lets the operator start before ``not_before``."""
+        event = self._get(event_id)
+        if event.state is not EventState.SCHEDULED:
+            raise OrchestratorError(
+                f"{event_id} is {event.state.value}; cannot acknowledge"
+            )
+        event.state = EventState.ACKNOWLEDGED
+        event.not_before = 0.0  # explicit consent waives the notice period
+
+    # -- queries -------------------------------------------------------------------
+
+    def _get(self, event_id: str) -> MaintenanceEvent:
+        try:
+            return self._events[event_id]
+        except KeyError:
+            raise OrchestratorError(f"unknown event {event_id!r}") from None
+
+    def history(self, vm_name: Optional[str] = None) -> List[MaintenanceEvent]:
+        events = list(self._events.values())
+        if vm_name is not None:
+            events = [e for e in events if e.vm_name == vm_name]
+        return sorted(events, key=lambda e: e.event_id)

@@ -1,0 +1,61 @@
+"""HyperTP-aware Nova scheduler filters (§4.5.2, step 4).
+
+The paper extends Nova's scheduler so that transplantable VMs are kept
+together, letting whole hosts be upgraded with a single InPlaceTP operation
+instead of many migrations.
+
+* :class:`InPlaceCompatibilityFilter` — pass only hosts whose existing
+  population matches the new instance's compatibility class.
+* :class:`TransplantConsolidationWeigher` — prefer the host with the most
+  same-class VMs (consolidation), mirroring Nova's filter+weigher split.
+"""
+
+from typing import Dict, List
+
+from repro.guest.vm import VMConfig
+from repro.orchestrator.nova import NovaCompute
+
+
+class InPlaceCompatibilityFilter:
+    """Hard filter: host population must match the instance's class."""
+
+    def __init__(self, nova: NovaCompute):
+        self.nova = nova
+
+    def _host_population(self, host: str) -> List[bool]:
+        driver = self.nova.driver_for(host)
+        hv = driver.connection.hypervisor
+        return [d.vm.config.inplace_compatible for d in hv.domains.values()]
+
+    def hosts_passing(self, config: VMConfig, candidates: List[str]) -> List[str]:
+        passing = []
+        for host in candidates:
+            population = self._host_population(host)
+            if not population:
+                passing.append(host)  # empty hosts accept anything
+            elif all(c is config.inplace_compatible for c in population):
+                passing.append(host)
+        return passing
+
+
+class TransplantConsolidationWeigher:
+    """Soft weigher: prefer hosts with more same-class VMs."""
+
+    def __init__(self, nova: NovaCompute):
+        self.nova = nova
+
+    def weigh(self, config: VMConfig, candidates: List[str]) -> Dict[str, float]:
+        weights = {}
+        for host in candidates:
+            driver = self.nova.driver_for(host)
+            hv = driver.connection.hypervisor
+            same = sum(
+                1 for d in hv.domains.values()
+                if d.vm.config.inplace_compatible is config.inplace_compatible
+            )
+            weights[host] = float(same)
+        return weights
+
+    def best_host(self, config: VMConfig, candidates: List[str]) -> str:
+        weights = self.weigh(config, candidates)
+        return max(sorted(weights), key=lambda h: weights[h])

@@ -1,0 +1,20 @@
+"""Remote block storage (§4.1).
+
+The paper follows common datacenter practice: VM root disks live on
+network-based remote storage, so disk state never lives in host RAM and a
+transplant only has to re-establish the *attachment*, not move data.  This
+package models that: a :class:`RemoteBlockStore` holding volumes, and
+:class:`VolumeAttachment` objects binding volumes to VMs through a block
+driver that participates in the §4.2.3 device protocol.
+"""
+
+from repro.storage.remote import RemoteBlockStore, Volume
+from repro.storage.attach import BlockDriver, VolumeAttachment, StorageManager
+
+__all__ = [
+    "RemoteBlockStore",
+    "Volume",
+    "BlockDriver",
+    "VolumeAttachment",
+    "StorageManager",
+]

@@ -1,0 +1,33 @@
+"""Vulnerability database and transplant decision support (§2).
+
+* :mod:`cve` — CVE records and CVSS v2 scoring/severity bands.
+* :mod:`data` — the embedded Xen/KVM 2013-2019 dataset whose per-year counts
+  match the paper's Table 1.
+* :mod:`analysis` — Table 1 aggregation and the §2.1 category breakdowns.
+* :mod:`timeline` — vulnerability-window modelling (§2.2).
+* :mod:`advisor` — "is there a safe hypervisor to transplant to?" logic.
+"""
+
+from repro.vulndb.cve import CVERecord, Severity, severity_for_score
+from repro.vulndb.data import VulnerabilityDatabase, load_default_database
+from repro.vulndb.analysis import yearly_counts, category_breakdown
+from repro.vulndb.timeline import VulnerabilityWindow, window_statistics
+from repro.vulndb.advisor import TransplantAdvisor, TransplantAdvice
+from repro.vulndb.feed import export_feed, import_feed, merge_feeds
+
+__all__ = [
+    "export_feed",
+    "import_feed",
+    "merge_feeds",
+    "CVERecord",
+    "Severity",
+    "severity_for_score",
+    "VulnerabilityDatabase",
+    "load_default_database",
+    "yearly_counts",
+    "category_breakdown",
+    "VulnerabilityWindow",
+    "window_statistics",
+    "TransplantAdvisor",
+    "TransplantAdvice",
+]

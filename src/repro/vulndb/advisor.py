@@ -1,0 +1,111 @@
+"""Transplant decision support.
+
+Implements the paper's operational logic (§1, §3.1): when a critical flaw
+lands on the datacenter's hypervisor, scan the operator's hypervisor
+repertoire for one that is (a) not affected by the triggering flaw and
+(b) not subject to any other currently-open critical flaw.  If one exists,
+recommend transplanting to it (and back once the patch ships).
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import NoSafeHypervisorError, VulnDBError
+from repro.vulndb.cve import CVERecord, Severity
+from repro.vulndb.data import VulnerabilityDatabase
+
+
+@dataclass
+class TransplantAdvice:
+    """The advisor's answer for one triggering CVE."""
+
+    trigger: str
+    affected_hypervisors: List[str]
+    recommended_target: Optional[str]
+    rejected: Dict[str, str] = field(default_factory=dict)
+    transplant_needed: bool = True
+
+    @property
+    def safe(self) -> bool:
+        return self.recommended_target is not None or not self.transplant_needed
+
+
+class TransplantAdvisor:
+    """Evaluates a hypervisor pool against open vulnerabilities."""
+
+    def __init__(self, db: VulnerabilityDatabase,
+                 hypervisor_pool: Sequence[str] = ("xen", "kvm")):
+        if not hypervisor_pool:
+            raise VulnDBError("hypervisor pool cannot be empty")
+        self.db = db
+        self.pool = list(hypervisor_pool)
+
+    def open_critical_flaws(self, kind: str,
+                            open_cves: Sequence[str]) -> List[CVERecord]:
+        """Critical flaws from ``open_cves`` affecting ``kind``."""
+        records = [self.db.get(cve_id) for cve_id in open_cves]
+        return [r for r in records
+                if r.affects(kind) and r.severity is Severity.CRITICAL]
+
+    def advise(self, trigger_cve: str, current_hypervisor: str,
+               open_cves: Sequence[str] = ()) -> TransplantAdvice:
+        """Decide whether and where to transplant when ``trigger_cve`` drops.
+
+        ``open_cves`` lists other currently-unpatched CVEs the operator is
+        tracking; a candidate target must be clean against all of them.
+        """
+        trigger = self.db.get(trigger_cve)
+        advice = TransplantAdvice(
+            trigger=trigger_cve,
+            affected_hypervisors=sorted(trigger.affected),
+            recommended_target=None,
+        )
+        if not trigger.affects(current_hypervisor):
+            advice.transplant_needed = False
+            return advice
+        if trigger.severity is not Severity.CRITICAL:
+            # The paper reserves transplant for critical flaws; medium ones
+            # wait for the ordinary patch cycle.
+            advice.transplant_needed = False
+            advice.rejected["*"] = (
+                f"{trigger_cve} is {trigger.severity.value}; transplant is "
+                f"reserved for critical flaws"
+            )
+            return advice
+
+        all_open = list(open_cves)
+        if trigger_cve not in all_open:
+            all_open.append(trigger_cve)
+        for candidate in self.pool:
+            if candidate == current_hypervisor:
+                continue
+            blocking = self.open_critical_flaws(candidate, all_open)
+            if blocking:
+                advice.rejected[candidate] = (
+                    "vulnerable to " + ", ".join(r.cve_id for r in blocking)
+                )
+                continue
+            advice.recommended_target = candidate
+            break
+        return advice
+
+    def advise_or_raise(self, trigger_cve: str, current_hypervisor: str,
+                        open_cves: Sequence[str] = ()) -> TransplantAdvice:
+        """Like :meth:`advise` but raises when no safe target exists."""
+        advice = self.advise(trigger_cve, current_hypervisor, open_cves)
+        if advice.transplant_needed and advice.recommended_target is None:
+            raise NoSafeHypervisorError(
+                f"no hypervisor in {self.pool} is safe against "
+                f"{trigger_cve} (+{len(open_cves)} open flaws): "
+                f"{advice.rejected}"
+            )
+        return advice
+
+    def transplants_per_year(self, current_hypervisor: str) -> Dict[int, int]:
+        """How often the operator would transplant: one event per critical
+        flaw on the running hypervisor (the paper's feasibility argument —
+        the number stays low)."""
+        events: Dict[int, int] = {}
+        for record in self.db.affecting(current_hypervisor, Severity.CRITICAL):
+            events[record.year] = events.get(record.year, 0) + 1
+        return dict(sorted(events.items()))

@@ -1,0 +1,81 @@
+"""Aggregations over the vulnerability database (§2.1 / Table 1)."""
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.vulndb.cve import Severity
+from repro.vulndb.data import KVM, XEN, VulnerabilityDatabase
+
+
+@dataclass(frozen=True)
+class YearRow:
+    """One Table 1 row."""
+
+    year: int
+    xen_critical: int
+    xen_medium: int
+    kvm_critical: int
+    kvm_medium: int
+    common_critical: int
+    common_medium: int
+
+
+def yearly_counts(db: VulnerabilityDatabase) -> List[YearRow]:
+    """Regenerate Table 1 from the record store."""
+    years = sorted({r.year for r in db.all()})
+    rows = []
+    for year in years:
+        records = db.in_year(year)
+        def count(kind: str, severity: Severity) -> int:
+            return sum(1 for r in records
+                       if r.affects(kind) and r.severity is severity)
+        def count_common(severity: Severity) -> int:
+            return sum(1 for r in records
+                       if r.is_common and r.severity is severity)
+        rows.append(YearRow(
+            year=year,
+            xen_critical=count(XEN, Severity.CRITICAL),
+            xen_medium=count(XEN, Severity.MEDIUM),
+            kvm_critical=count(KVM, Severity.CRITICAL),
+            kvm_medium=count(KVM, Severity.MEDIUM),
+            common_critical=count_common(Severity.CRITICAL),
+            common_medium=count_common(Severity.MEDIUM),
+        ))
+    return rows
+
+
+def totals(db: VulnerabilityDatabase) -> YearRow:
+    """The Table 1 "Total" row."""
+    rows = yearly_counts(db)
+    return YearRow(
+        year=0,
+        xen_critical=sum(r.xen_critical for r in rows),
+        xen_medium=sum(r.xen_medium for r in rows),
+        kvm_critical=sum(r.kvm_critical for r in rows),
+        kvm_medium=sum(r.kvm_medium for r in rows),
+        common_critical=sum(r.common_critical for r in rows),
+        common_medium=sum(r.common_medium for r in rows),
+    )
+
+
+def category_breakdown(db: VulnerabilityDatabase, kind: str,
+                       severity: Severity = Severity.CRITICAL
+                       ) -> Dict[str, float]:
+    """Per-component share of a hypervisor's vulnerabilities (§2.1)."""
+    records = db.affecting(kind, severity)
+    if not records:
+        return {}
+    by_component: Dict[str, int] = {}
+    for record in records:
+        by_component[record.component] = by_component.get(record.component, 0) + 1
+    total = len(records)
+    return {comp: count / total
+            for comp, count in sorted(by_component.items())}
+
+
+def common_share(db: VulnerabilityDatabase) -> Tuple[int, int]:
+    """(common critical, common medium) counts over the whole period."""
+    return (
+        len(db.common(Severity.CRITICAL)),
+        len(db.common(Severity.MEDIUM)),
+    )

@@ -1,0 +1,105 @@
+"""CVE records and CVSS v2 scoring.
+
+The paper's severity bands (§2): a flaw is *critical* when its CVSS v2 base
+score is >= 7.0 and *medium* when 4.0 <= score < 7.0.  We implement the full
+CVSS v2 base-score equation so records can carry vectors rather than bare
+numbers, and derive severity from the computed score.
+"""
+
+import enum
+from dataclasses import dataclass
+from typing import FrozenSet, Optional
+
+from repro.errors import VulnDBError
+
+
+class Severity(enum.Enum):
+    LOW = "low"
+    MEDIUM = "medium"
+    CRITICAL = "critical"  # the paper folds CVSS "high" into critical (>= 7)
+
+
+def severity_for_score(score: float) -> Severity:
+    """Map a CVSS v2 base score to the paper's bands."""
+    if not 0.0 <= score <= 10.0:
+        raise VulnDBError(f"CVSS v2 score out of range: {score}")
+    if score >= 7.0:
+        return Severity.CRITICAL
+    if score >= 4.0:
+        return Severity.MEDIUM
+    return Severity.LOW
+
+
+# CVSS v2 base metric value tables.
+_ACCESS_VECTOR = {"L": 0.395, "A": 0.646, "N": 1.0}
+_ACCESS_COMPLEXITY = {"H": 0.35, "M": 0.61, "L": 0.71}
+_AUTHENTICATION = {"M": 0.45, "S": 0.56, "N": 0.704}
+_IMPACT = {"N": 0.0, "P": 0.275, "C": 0.660}
+
+
+def cvss_v2_base_score(vector: str) -> float:
+    """Compute the CVSS v2 base score from a vector string.
+
+    Vector format: ``AV:N/AC:L/Au:N/C:C/I:C/A:C`` (order-insensitive).
+    """
+    parts = {}
+    for token in vector.split("/"):
+        if ":" not in token:
+            raise VulnDBError(f"bad CVSS v2 vector token {token!r}")
+        key, value = token.split(":", 1)
+        parts[key.upper()] = value.upper()
+    try:
+        av = _ACCESS_VECTOR[parts["AV"]]
+        ac = _ACCESS_COMPLEXITY[parts["AC"]]
+        au = _AUTHENTICATION[parts["AU"]]
+        conf = _IMPACT[parts["C"]]
+        integ = _IMPACT[parts["I"]]
+        avail = _IMPACT[parts["A"]]
+    except KeyError as exc:
+        raise VulnDBError(f"CVSS v2 vector {vector!r} missing/invalid {exc}") from exc
+
+    impact = 10.41 * (1 - (1 - conf) * (1 - integ) * (1 - avail))
+    exploitability = 20 * av * ac * au
+    f_impact = 0.0 if impact == 0 else 1.176
+    score = ((0.6 * impact) + (0.4 * exploitability) - 1.5) * f_impact
+    return round(max(0.0, score), 1)
+
+
+@dataclass(frozen=True)
+class CVERecord:
+    """One vulnerability as tracked by the database."""
+
+    cve_id: str
+    year: int
+    affected: FrozenSet[str]  # hypervisor kind values, e.g. {"xen"}
+    component: str  # e.g. "pv", "resource-mgmt", "hardware", "qemu", ...
+    cvss_vector: Optional[str] = None
+    cvss_score: Optional[float] = None
+    description: str = ""
+    # §2.2 timeline (days relative to discovery; None = unknown, which is
+    # the common case for Xen per the paper's survey).
+    days_to_patch: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.cvss_vector is None and self.cvss_score is None:
+            raise VulnDBError(f"{self.cve_id}: need a CVSS vector or score")
+        if not self.affected:
+            raise VulnDBError(f"{self.cve_id}: affects no hypervisor")
+
+    @property
+    def score(self) -> float:
+        if self.cvss_score is not None:
+            return self.cvss_score
+        return cvss_v2_base_score(self.cvss_vector)
+
+    @property
+    def severity(self) -> Severity:
+        return severity_for_score(self.score)
+
+    def affects(self, hypervisor_kind: str) -> bool:
+        return hypervisor_kind in self.affected
+
+    @property
+    def is_common(self) -> bool:
+        """Shared by more than one hypervisor (the rare, dangerous case)."""
+        return len(self.affected) > 1

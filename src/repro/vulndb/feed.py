@@ -1,0 +1,95 @@
+"""NVD-style JSON feed import/export.
+
+Operators track vulnerabilities through feeds (the paper mined the NIST NVD
+website).  This module round-trips the database through a compact JSON
+document so a deployment can load a real curated feed instead of the
+embedded dataset, and so the embedded dataset can be audited as data.
+"""
+
+import json
+from typing import Dict, Union
+
+from repro.errors import VulnDBError
+from repro.vulndb.cve import CVERecord
+from repro.vulndb.data import VulnerabilityDatabase
+
+FEED_FORMAT = "hypertp-vulnfeed"
+FEED_VERSION = 1
+
+
+def record_to_dict(record: CVERecord) -> Dict:
+    """One CVE as a JSON-ready dict."""
+    entry = {
+        "id": record.cve_id,
+        "year": record.year,
+        "affected": sorted(record.affected),
+        "component": record.component,
+        "description": record.description,
+    }
+    if record.cvss_vector is not None:
+        entry["cvss_vector"] = record.cvss_vector
+    if record.cvss_score is not None:
+        entry["cvss_score"] = record.cvss_score
+    if record.days_to_patch is not None:
+        entry["days_to_patch"] = record.days_to_patch
+    return entry
+
+
+def record_from_dict(entry: Dict) -> CVERecord:
+    """Parse one feed entry, validating required fields."""
+    try:
+        return CVERecord(
+            cve_id=entry["id"],
+            year=int(entry["year"]),
+            affected=frozenset(entry["affected"]),
+            component=entry["component"],
+            cvss_vector=entry.get("cvss_vector"),
+            cvss_score=entry.get("cvss_score"),
+            description=entry.get("description", ""),
+            days_to_patch=entry.get("days_to_patch"),
+        )
+    except KeyError as exc:
+        raise VulnDBError(f"feed entry missing field {exc}") from exc
+    except (TypeError, ValueError) as exc:
+        raise VulnDBError(f"malformed feed entry: {exc}") from exc
+
+
+def export_feed(db: VulnerabilityDatabase) -> str:
+    """Serialize a database to the JSON feed format."""
+    document = {
+        "format": FEED_FORMAT,
+        "version": FEED_VERSION,
+        "entries": [record_to_dict(r) for r in db.all()],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def import_feed(text: Union[str, bytes]) -> VulnerabilityDatabase:
+    """Parse a JSON feed into a database, validating the envelope."""
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise VulnDBError(f"feed is not valid JSON: {exc}") from exc
+    if not isinstance(document, dict):
+        raise VulnDBError("feed must be a JSON object")
+    if document.get("format") != FEED_FORMAT:
+        raise VulnDBError(
+            f"unknown feed format {document.get('format')!r}"
+        )
+    if document.get("version") != FEED_VERSION:
+        raise VulnDBError(
+            f"unsupported feed version {document.get('version')!r}"
+        )
+    entries = document.get("entries")
+    if not isinstance(entries, list):
+        raise VulnDBError("feed entries must be a list")
+    return VulnerabilityDatabase([record_from_dict(e) for e in entries])
+
+
+def merge_feeds(*databases: VulnerabilityDatabase) -> VulnerabilityDatabase:
+    """Union several databases; later feeds override earlier on id clash."""
+    merged: Dict[str, CVERecord] = {}
+    for db in databases:
+        for record in db.all():
+            merged[record.cve_id] = record
+    return VulnerabilityDatabase(list(merged.values()))

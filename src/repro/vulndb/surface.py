@@ -1,0 +1,135 @@
+"""Attack-surface analysis (§2.1's structural argument).
+
+The paper's case for transplant rests on an observation: most
+vulnerabilities live in *implementation-specific* interfaces — Xen's PV
+hypercalls/event channels and toolstack, KVM's ioctl surface — and only
+components literally shared between hypervisors (QEMU, hardware behaviour)
+produce common flaws.  This module makes that argument computable: an
+interface inventory per hypervisor, the sharing relation between them, and
+the derived metric HyperTP cares about — the fraction of a hypervisor's
+flaws that a transplant to some other repertoire member escapes.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence
+
+from repro.errors import VulnDBError
+from repro.vulndb.cve import Severity
+from repro.vulndb.data import VulnerabilityDatabase
+
+
+@dataclass(frozen=True)
+class Interface:
+    """One attack-surface component of a hypervisor stack."""
+
+    name: str  # matches CVERecord.component values
+    description: str
+    shared_with: FrozenSet[str]  # other hypervisors exposing the same code
+
+
+# Which vulnerability components each hypervisor exposes, and whether the
+# underlying code is shared.  QEMU is literally the same codebase on Xen
+# and KVM deployments; "hardware" flaws (Spectre-class, exception handling)
+# hit every hypervisor riding the same silicon.
+SURFACES: Dict[str, List[Interface]] = {
+    "xen": [
+        Interface("pv", "PV hypercalls, event channels, grant tables",
+                  frozenset()),
+        Interface("resource-mgmt", "CPU scheduler, memory ballooning",
+                  frozenset()),
+        Interface("hardware", "VT-x state handling, CPU errata",
+                  frozenset({"kvm", "nova"})),
+        Interface("toolstack", "libxl/xl management plane", frozenset()),
+        Interface("qemu", "device emulation (QEMU)", frozenset({"kvm"})),
+    ],
+    "kvm": [
+        Interface("ioctl", "/dev/kvm ioctl surface", frozenset()),
+        Interface("resource-mgmt", "CFS interaction, mmu notifiers",
+                  frozenset()),
+        Interface("hardware", "VT-x state handling, CPU errata",
+                  frozenset({"xen", "nova"})),
+        Interface("qemu", "device emulation (QEMU)", frozenset({"xen"})),
+    ],
+    "nova": [
+        # A microhypervisor: no QEMU, no PV layer; only the hardware
+        # surface plus its small IPC interface.
+        Interface("ipc", "capability invocation surface", frozenset()),
+        Interface("hardware", "VT-x state handling, CPU errata",
+                  frozenset({"xen", "kvm"})),
+    ],
+}
+
+
+def interfaces_of(kind: str) -> List[Interface]:
+    try:
+        return SURFACES[kind]
+    except KeyError:
+        raise VulnDBError(f"no surface inventory for {kind!r}") from None
+
+
+def shared_components(a: str, b: str) -> FrozenSet[str]:
+    """Component names whose code both hypervisors expose."""
+    return frozenset(
+        interface.name for interface in interfaces_of(a)
+        if b in interface.shared_with
+    )
+
+
+@dataclass
+class EscapeReport:
+    """How much of a hypervisor's flaw population a transplant escapes."""
+
+    current: str
+    target: str
+    total_flaws: int
+    escaped_flaws: int
+    shared: FrozenSet[str]
+
+    @property
+    def escape_fraction(self) -> float:
+        return self.escaped_flaws / self.total_flaws if self.total_flaws else 1.0
+
+
+def escape_report(db: VulnerabilityDatabase, current: str, target: str,
+                  severity: Severity = None) -> EscapeReport:
+    """Of ``current``'s recorded flaws, how many does moving to ``target``
+    escape?  A flaw follows you only if it lives in a shared component *and*
+    the record actually marks the target as affected."""
+    records = db.affecting(current, severity)
+    shared = shared_components(current, target)
+    escaped = sum(1 for r in records if not r.affects(target))
+    return EscapeReport(
+        current=current,
+        target=target,
+        total_flaws=len(records),
+        escaped_flaws=escaped,
+        shared=shared,
+    )
+
+
+def per_interface_exposure(db: VulnerabilityDatabase, kind: str,
+                           severity: Severity = None) -> Dict[str, int]:
+    """Flaw counts per interface, restricted to the inventory."""
+    names = {i.name for i in interfaces_of(kind)}
+    counts = {name: 0 for name in sorted(names)}
+    for record in db.affecting(kind, severity):
+        if record.component in counts:
+            counts[record.component] += 1
+    return counts
+
+
+def repertoire_coverage(db: VulnerabilityDatabase,
+                        pool: Sequence[str]) -> Dict[str, float]:
+    """For each pool member: the worst-case escape fraction offered by the
+    *best* alternative in the pool (the paper's 'as long as an alternative
+    exists' guarantee, quantified)."""
+    coverage = {}
+    for current in pool:
+        best = 0.0
+        for target in pool:
+            if target == current:
+                continue
+            best = max(best,
+                       escape_report(db, current, target).escape_fraction)
+        coverage[current] = best
+    return coverage

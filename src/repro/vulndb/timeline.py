@@ -1,0 +1,80 @@
+"""Vulnerability-window modelling (§2.2 and Fig. 1).
+
+A vulnerability window runs from a flaw's discovery to the moment the
+running hypervisor carries the fix.  It decomposes into *time to patch
+release* (tracked per CVE when known) plus *time to patch application*
+(a per-datacenter policy knob).  HyperTP's pitch is that the window can be
+collapsed to the duration of a transplant.
+"""
+
+import statistics
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import VulnDBError
+from repro.vulndb.cve import CVERecord
+from repro.vulndb.data import VulnerabilityDatabase
+
+
+@dataclass(frozen=True)
+class VulnerabilityWindow:
+    """The exposed period for one flaw in one datacenter."""
+
+    cve_id: str
+    days_to_patch_release: int
+    days_to_patch_application: int
+
+    @property
+    def total_days(self) -> float:
+        return self.days_to_patch_release + self.days_to_patch_application
+
+    def mitigated_days(self, transplant_hours: float) -> float:
+        """Exposure when HyperTP covers the window (Fig. 1b): just the time
+        to decide + execute the transplant."""
+        return transplant_hours / 24.0
+
+
+@dataclass
+class WindowStatistics:
+    """Aggregate §2.2 statistics over a set of windows."""
+
+    count: int
+    mean_days: float
+    min_days: int
+    max_days: int
+    over_60_fraction: float
+
+
+def windows_for(db: VulnerabilityDatabase,
+                patch_application_days: int = 0) -> List[VulnerabilityWindow]:
+    """Windows for every CVE with known patch-release timing."""
+    if patch_application_days < 0:
+        raise VulnDBError("patch application delay cannot be negative")
+    return [
+        VulnerabilityWindow(
+            cve_id=record.cve_id,
+            days_to_patch_release=record.days_to_patch,
+            days_to_patch_application=patch_application_days,
+        )
+        for record in db.all()
+        if record.days_to_patch is not None
+    ]
+
+
+def window_statistics(db: VulnerabilityDatabase,
+                      hypervisor_kind: Optional[str] = None
+                      ) -> WindowStatistics:
+    """The §2.2 headline numbers (computed, not quoted)."""
+    records: List[CVERecord] = db.all()
+    if hypervisor_kind is not None:
+        records = [r for r in records if r.affects(hypervisor_kind)]
+    days = [r.days_to_patch for r in records if r.days_to_patch is not None]
+    if not days:
+        raise VulnDBError("no timeline data for the requested scope")
+    return WindowStatistics(
+        count=len(days),
+        mean_days=statistics.mean(days),
+        min_days=min(days),
+        max_days=max(days),
+        over_60_fraction=sum(1 for d in days if d > 60) / len(days),
+    )

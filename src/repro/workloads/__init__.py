@@ -1,0 +1,35 @@
+"""Workload models for the application-impact evaluation (§5.3).
+
+Each workload is a deterministic performance model that *observes* a host
+timeline (when was the VM paused, when did the hypervisor change, when was
+a migration degrading it, when was the network down) and emits the metric
+the paper plots: QPS for Redis, latency+QPS for MySQL, execution time for
+SPECrate 2017, iteration time for Darknet.
+"""
+
+from repro.workloads.base import HostTimeline, MetricSeries, Workload
+from repro.workloads.redis import RedisWorkload
+from repro.workloads.mysql import MySQLWorkload
+from repro.workloads.speccpu import SPEC_BASELINES, SpecCPUWorkload, spec_degradation
+from repro.workloads.darknet import DarknetWorkload
+from repro.workloads.streaming import StreamingWorkload, StreamingClientStats
+from repro.workloads.fileserver import FileServerWorkload, IOTrace
+from repro.workloads.generator import timeline_for_inplace, timeline_for_migration
+
+__all__ = [
+    "HostTimeline",
+    "MetricSeries",
+    "Workload",
+    "RedisWorkload",
+    "MySQLWorkload",
+    "SpecCPUWorkload",
+    "SPEC_BASELINES",
+    "spec_degradation",
+    "DarknetWorkload",
+    "StreamingWorkload",
+    "StreamingClientStats",
+    "FileServerWorkload",
+    "IOTrace",
+    "timeline_for_inplace",
+    "timeline_for_migration",
+]

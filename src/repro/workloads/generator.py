@@ -1,0 +1,52 @@
+"""Build host timelines from transplant reports.
+
+These helpers connect the transplant machinery to the workload models: run
+an InPlaceTP or MigrationTP (on the simulated machinery), then express the
+result as the :class:`HostTimeline` a workload observes — pause window,
+hypervisor switch, pre-copy degradation, network blackout.
+"""
+
+from repro.hypervisors.base import HypervisorKind
+from repro.core.inplace import InPlaceReport
+from repro.core.migration import MigrationReport
+from repro.workloads.base import HostTimeline
+
+
+def timeline_for_inplace(report: InPlaceReport, trigger_t: float,
+                         source: HypervisorKind,
+                         target: HypervisorKind) -> HostTimeline:
+    """Timeline of a VM that rode an InPlaceTP at ``trigger_t``.
+
+    PRAM construction precedes the pause (prepare-ahead); the VM pauses for
+    Translation+Reboot+Restoration; the network returns ``network_s`` after
+    the reboot completes, overlapping restoration.
+    """
+    pause_start = trigger_t + report.pram_s
+    pause_end = pause_start + report.downtime_s
+    reboot_end = pause_start + report.translation_s + report.reboot_s
+    network_back = reboot_end + report.network_s
+    return HostTimeline(
+        switches=[(0.0, source), (reboot_end, target)],
+        paused=[(pause_start, pause_end)],
+        network_down=[(pause_start, max(network_back, pause_end))],
+    )
+
+
+def timeline_for_migration(report: MigrationReport, trigger_t: float,
+                           source: HypervisorKind,
+                           target: HypervisorKind,
+                           precopy_throughput_factor: float = 0.55
+                           ) -> HostTimeline:
+    """Timeline of a VM that was live-migrated starting at ``trigger_t``.
+
+    During pre-copy the guest keeps running but loses throughput to page
+    tracking and network contention (the Fig. 11/12 dip); the stop-and-copy
+    pause is milliseconds.
+    """
+    precopy_end = trigger_t + report.precopy_s
+    pause_end = precopy_end + report.downtime_s
+    return HostTimeline(
+        switches=[(0.0, source), (pause_end, target)],
+        paused=[(precopy_end, pause_end)],
+        degraded=[(trigger_t, precopy_end, precopy_throughput_factor)],
+    )

@@ -1,0 +1,28 @@
+"""Redis / redis-benchmark model (Fig. 11).
+
+The paper's measurements: ~30 K QPS under Xen, ~37 % higher under KVM for
+this workload; service stops entirely during InPlaceTP's 9-second window
+(downtime plus NIC re-init — Redis is network-dependent); during a
+migration's pre-copy the throughput dips, then recovers at the
+destination's native level after a negligible pause.
+"""
+
+from repro.hypervisors.base import HypervisorKind
+from repro.workloads.base import Workload
+
+XEN_QPS = 30_000.0
+KVM_QPS = XEN_QPS * 1.37  # the paper's 37 % post-transplant improvement
+
+
+class RedisWorkload(Workload):
+    """In-memory key-value store stressed by its bundled load injector."""
+
+    metric_name = "redis-qps"
+    metric_unit = "ops/s"
+    network_dependent = True
+
+    def __init__(self, seed: int = 0, noise: float = 0.03):
+        super().__init__(seed=seed, noise=noise)
+
+    def baseline(self, kind: HypervisorKind) -> float:
+        return KVM_QPS if kind is HypervisorKind.KVM else XEN_QPS

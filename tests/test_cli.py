@@ -1,0 +1,111 @@
+"""Tests for the hypertp CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_hypervisor_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["inplace", "--target", "esxi"])
+
+    def test_unknown_machine_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["inplace", "--machine", "M9"])
+
+
+class TestInplaceCommand:
+    def test_default_run(self, capsys):
+        assert main(["inplace"]) == 0
+        out = capsys.readouterr().out
+        assert "downtime" in out
+        assert "guests intact: True" in out
+
+    def test_same_source_target_fails(self, capsys):
+        assert main(["inplace", "--source", "kvm", "--target", "kvm"]) == 2
+
+    def test_kvm_to_xen_direction(self, capsys):
+        assert main(["inplace", "--source", "kvm", "--target", "xen"]) == 0
+        out = capsys.readouterr().out
+        assert "kvm->xen" in out
+
+    def test_nova_source(self, capsys):
+        assert main(["inplace", "--source", "nova", "--target", "kvm"]) == 0
+
+    def test_ablation_flags(self, capsys):
+        assert main(["inplace", "--no-huge-pages", "--no-parallel",
+                     "--no-prepare-ahead", "--vms", "2"]) == 0
+
+
+class TestMigrateCommand:
+    def test_migration_tp(self, capsys):
+        assert main(["migrate", "--dest", "kvm"]) == 0
+        out = capsys.readouterr().out
+        assert "MigrationTP" in out
+        assert "guest intact    : True" in out
+
+    def test_xen_baseline(self, capsys):
+        assert main(["migrate", "--dest", "xen"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out
+
+    def test_busy_guest(self, capsys):
+        assert main(["migrate", "--dirty-mb-s", "48"]) == 0
+        out = capsys.readouterr().out
+        assert "pre-copy rounds" in out
+
+
+class TestAdviseCommand:
+    def test_safe_target_found(self, capsys):
+        assert main(["advise", "CVE-2016-6258"]) == 0
+        out = capsys.readouterr().out
+        assert "xen -> kvm" in out
+
+    def test_no_safe_target_exit_code(self, capsys):
+        assert main(["advise", "CVE-2015-3456"]) == 1
+        out = capsys.readouterr().out
+        assert "NO SAFE TARGET" in out
+
+    def test_bigger_pool_saves_it(self, capsys):
+        assert main(["advise", "CVE-2015-3456",
+                     "--pool", "xen,kvm,nova"]) == 0
+        out = capsys.readouterr().out
+        assert "xen -> nova" in out
+
+    def test_medium_flaw_needs_nothing(self, capsys):
+        assert main(["advise", "CVE-2015-8104"]) == 0
+        out = capsys.readouterr().out
+        assert "no transplant needed" in out
+
+
+class TestReportingCommands:
+    def test_vulns_table(self, capsys):
+        assert main(["vulns"]) == 0
+        out = capsys.readouterr().out
+        assert "2015" in out and "Total" in out
+
+    def test_cluster_sweep(self, capsys):
+        assert main(["cluster", "--fractions", "0,0.8"]) == 0
+        out = capsys.readouterr().out
+        assert "migrations" in out
+
+    def test_tcb(self, capsys):
+        assert main(["tcb"]) == 0
+        out = capsys.readouterr().out
+        assert "8.5 KLOC" in out
+
+
+class TestTraceFlag:
+    def test_trace_file_written(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "trace.json"
+        assert main(["inplace", "--trace", str(path)]) == 0
+        document = json.loads(path.read_text())
+        names = {e["name"] for e in document["traceEvents"]}
+        assert {"PRAM", "Reboot", "VMs paused"} <= names

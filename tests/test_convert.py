@@ -1,0 +1,169 @@
+"""Tests for Xen<->UISR<->KVM conversion and the compat fixups."""
+
+import pytest
+
+from repro.errors import UISRError
+from repro.guest.devices import (
+    IOAPICPin,
+    IOAPICState,
+    KVM_IOAPIC_PINS,
+    XEN_IOAPIC_PINS,
+    make_default_platform,
+)
+from repro.hypervisors.base import HypervisorKind
+from repro.core.convert import (
+    apply_platform_fixups,
+    from_uisr_kvm,
+    from_uisr_xen,
+    ioapic_grow_to,
+    ioapic_shrink_to,
+    to_uisr_kvm,
+    to_uisr_xen,
+)
+
+
+class TestIOAPICFixups:
+    def test_shrink_drops_high_pins(self):
+        ioapic = make_default_platform(1).ioapic
+        shrunk = ioapic_shrink_to(ioapic, KVM_IOAPIC_PINS)
+        assert shrunk.pin_count == KVM_IOAPIC_PINS
+        assert shrunk.pins == ioapic.pins[:KVM_IOAPIC_PINS]
+
+    def test_shrink_refuses_live_routes(self):
+        pins = [IOAPICPin() for _ in range(48)]
+        pins[40] = IOAPICPin(vector=0x55, masked=False)
+        with pytest.raises(UISRError):
+            ioapic_shrink_to(IOAPICState(pins=pins), KVM_IOAPIC_PINS)
+
+    def test_shrink_below_zero_rejected(self):
+        with pytest.raises(UISRError):
+            ioapic_shrink_to(IOAPICState(pins=[IOAPICPin()]), 0)
+
+    def test_grow_pads_with_disconnected_pins(self):
+        ioapic = make_default_platform(
+            1, ioapic_pins=KVM_IOAPIC_PINS
+        ).ioapic
+        grown = ioapic_grow_to(ioapic, XEN_IOAPIC_PINS)
+        assert grown.pin_count == XEN_IOAPIC_PINS
+        for pin in grown.pins[KVM_IOAPIC_PINS:]:
+            assert pin.masked and pin.vector == 0
+
+    def test_grow_smaller_rejected(self):
+        ioapic = make_default_platform(1).ioapic
+        with pytest.raises(UISRError):
+            ioapic_grow_to(ioapic, KVM_IOAPIC_PINS)
+
+    def test_shrink_then_grow_preserves_low_pins(self):
+        ioapic = make_default_platform(1).ioapic
+        roundtrip = ioapic_grow_to(
+            ioapic_shrink_to(ioapic, KVM_IOAPIC_PINS), XEN_IOAPIC_PINS
+        )
+        assert (roundtrip.redirection_view()[:KVM_IOAPIC_PINS]
+                == ioapic.redirection_view()[:KVM_IOAPIC_PINS])
+
+    def test_apply_platform_fixups_does_not_mutate_input(self):
+        platform = make_default_platform(1)
+        fixed = apply_platform_fixups(platform, KVM_IOAPIC_PINS)
+        assert platform.ioapic.pin_count == XEN_IOAPIC_PINS
+        assert fixed.ioapic.pin_count == KVM_IOAPIC_PINS
+
+
+class TestXenToKVM:
+    def test_full_conversion_preserves_architectural_subset(
+            self, xen_host_factory, kvm_host_factory):
+        source = xen_host_factory(vm_count=1, vcpus=2)
+        xen = source.hypervisor
+        domain = next(iter(xen.domains.values()))
+        original_vcpus = [v.architectural_view() for v in domain.vm.vcpus]
+
+        uisr = to_uisr_xen(xen, domain, pram_file=None)
+        assert uisr.source_hypervisor == "xen"
+        assert not uisr.memory_map.by_reference
+
+        dest = kvm_host_factory(vm_count=1, vcpus=2)
+        kvm = dest.hypervisor
+        kvm_domain = next(iter(kvm.domains.values()))
+        from_uisr_kvm(kvm, kvm_domain, uisr, pram_fs=None)
+
+        assert ([v.architectural_view() for v in kvm_domain.vm.vcpus]
+                == original_vcpus)
+        assert kvm_domain.vm.platform.ioapic.pin_count == KVM_IOAPIC_PINS
+        # Low 24 pins survive the shrink.
+        assert (kvm_domain.vm.platform.ioapic.redirection_view()
+                == domain.vm.platform.ioapic.redirection_view()[:KVM_IOAPIC_PINS])
+
+    def test_wrong_hypervisor_kind_rejected(self, kvm_host_factory):
+        dest = kvm_host_factory(vm_count=1)
+        kvm = dest.hypervisor
+        domain = next(iter(kvm.domains.values()))
+        with pytest.raises(UISRError):
+            to_uisr_xen(kvm, domain)
+
+    def test_vcpu_count_mismatch_rejected(self, xen_host_factory,
+                                          kvm_host_factory):
+        source = xen_host_factory(vm_count=1, vcpus=2)
+        xen = source.hypervisor
+        uisr = to_uisr_xen(xen, next(iter(xen.domains.values())))
+        dest = kvm_host_factory(vm_count=1, vcpus=1)
+        kvm = dest.hypervisor
+        with pytest.raises(UISRError):
+            from_uisr_kvm(kvm, next(iter(kvm.domains.values())), uisr)
+
+    def test_by_reference_requires_pram(self, xen_host_factory,
+                                        kvm_host_factory):
+        source = xen_host_factory(vm_count=1)
+        xen = source.hypervisor
+        domain = next(iter(xen.domains.values()))
+        uisr = to_uisr_xen(xen, domain, pram_file=domain.vm.name)
+        dest = kvm_host_factory(vm_count=1)
+        kvm = dest.hypervisor
+        with pytest.raises(UISRError):
+            from_uisr_kvm(kvm, next(iter(kvm.domains.values())), uisr,
+                          pram_fs=None)
+
+
+class TestKVMToXen:
+    def test_full_conversion_grows_ioapic(self, kvm_host_factory,
+                                          xen_host_factory):
+        source = kvm_host_factory(vm_count=1, vcpus=2)
+        kvm = source.hypervisor
+        domain = next(iter(kvm.domains.values()))
+        original_vcpus = [v.architectural_view() for v in domain.vm.vcpus]
+
+        uisr = to_uisr_kvm(kvm, domain, pram_file=None)
+        assert uisr.source_hypervisor == "kvm"
+
+        dest = xen_host_factory(vm_count=1, vcpus=2)
+        xen = dest.hypervisor
+        xen_domain = next(iter(xen.domains.values()))
+        from_uisr_xen(xen, xen_domain, uisr, pram_fs=None)
+
+        assert ([v.architectural_view() for v in xen_domain.vm.vcpus]
+                == original_vcpus)
+        assert xen_domain.vm.platform.ioapic.pin_count == XEN_IOAPIC_PINS
+
+    def test_double_roundtrip_stabilizes(self, xen_host_factory,
+                                         kvm_host_factory):
+        """Xen->UISR->KVM->UISR->Xen preserves the surviving 24-pin subset
+        and every other architectural field exactly."""
+        source = xen_host_factory(vm_count=1, vcpus=2)
+        xen = source.hypervisor
+        xen_domain = next(iter(xen.domains.values()))
+        uisr1 = to_uisr_xen(xen, xen_domain)
+
+        mid = kvm_host_factory(vm_count=1, vcpus=2)
+        kvm = mid.hypervisor
+        kvm_domain = next(iter(kvm.domains.values()))
+        from_uisr_kvm(kvm, kvm_domain, uisr1)
+        uisr2 = to_uisr_kvm(kvm, kvm_domain)
+
+        dest = xen_host_factory(vm_count=1, vcpus=2, name="final")
+        xen2 = dest.hypervisor
+        final = next(iter(xen2.domains.values()))
+        from_uisr_xen(xen2, final, uisr2)
+
+        assert ([v.architectural_view() for v in final.vm.vcpus]
+                == [v.architectural_view() for v in xen_domain.vm.vcpus])
+        original_pins = xen_domain.vm.platform.ioapic.redirection_view()
+        final_pins = final.vm.platform.ioapic.redirection_view()
+        assert final_pins[:KVM_IOAPIC_PINS] == original_pins[:KVM_IOAPIC_PINS]

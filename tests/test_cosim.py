@@ -1,0 +1,95 @@
+"""Co-simulation tests: a transplant as an engine process, interleaved
+with live workload samplers on the same simulated timeline."""
+
+import pytest
+
+from repro.hypervisors.base import HypervisorKind
+from repro.sim.clock import SimClock
+from repro.sim.engine import Engine
+from repro.core.inplace import InPlaceTP
+from repro.workloads.redis import KVM_QPS, XEN_QPS
+
+
+class TestAsProcess:
+    def test_process_produces_same_report_as_run(self, xen_host_factory):
+        direct_machine = xen_host_factory(vm_count=2)
+        direct = InPlaceTP(direct_machine, HypervisorKind.KVM).run(SimClock())
+
+        engine_machine = xen_host_factory(vm_count=2)
+        engine = Engine()
+        process = InPlaceTP(engine_machine, HypervisorKind.KVM).as_process(engine)
+        engine.run()
+        assert process.done
+        cosim = process.result
+        assert cosim.downtime_s == pytest.approx(direct.downtime_s)
+        assert cosim.phase_breakdown == direct.phase_breakdown
+        assert cosim.total_s == pytest.approx(direct.total_s)
+
+    def test_engine_clock_tracks_transplant(self, xen_host_factory):
+        machine = xen_host_factory(vm_count=1)
+        engine = Engine()
+        process = InPlaceTP(machine, HypervisorKind.KVM).as_process(engine)
+        engine.run()
+        assert engine.now == pytest.approx(process.result.total_s)
+
+    def test_live_sampler_sees_the_pause_window(self, xen_host_factory):
+        """A 10 Hz sampler process observes the VM's actual lifecycle state
+        while the transplant runs — no precomputed timeline involved."""
+        machine = xen_host_factory(vm_count=1)
+        vm = next(iter(machine.hypervisor.domains.values())).vm
+        engine = Engine()
+        samples = []
+
+        def sampler():
+            for _ in range(400):
+                samples.append((engine.now, vm.state.value))
+                yield 0.01
+
+        engine.spawn(sampler(), name="sampler")
+        transplant = InPlaceTP(machine, HypervisorKind.KVM)
+        process = transplant.as_process(engine)
+        engine.run()
+        report = process.result
+
+        not_running = [t for t, state in samples if state != "running"]
+        assert not_running, "sampler must catch the pause window"
+        observed_downtime = max(not_running) - min(not_running) + 0.01
+        assert observed_downtime == pytest.approx(report.downtime_s,
+                                                  abs=0.05)
+        # The pause starts after the PRAM phase (prepare-ahead).
+        assert min(not_running) >= report.pram_s - 0.02
+
+    def test_two_hosts_transplant_concurrently(self, xen_host_factory):
+        """Independent machines share the engine; their phases interleave."""
+        fast = xen_host_factory(vm_count=1)
+        slow = xen_host_factory(vm_count=8, name="slow-host")
+        engine = Engine()
+        p_fast = InPlaceTP(fast, HypervisorKind.KVM).as_process(engine)
+        p_slow = InPlaceTP(slow, HypervisorKind.KVM).as_process(engine)
+        engine.run()
+        assert p_fast.result.total_s < p_slow.result.total_s
+        assert engine.now == pytest.approx(
+            max(p_fast.result.total_s, p_slow.result.total_s)
+        )
+        assert fast.hypervisor.kind is HypervisorKind.KVM
+        assert slow.hypervisor.kind is HypervisorKind.KVM
+
+    def test_failure_in_process_rolls_back(self, xen_host_factory):
+        from repro.errors import TransplantError
+
+        machine = xen_host_factory(vm_count=1)
+        vm = next(iter(machine.hypervisor.domains.values())).vm
+
+        def hook(phase):
+            if phase == "translate":
+                raise RuntimeError("chaos")
+
+        engine = Engine()
+        transplant = InPlaceTP(machine, HypervisorKind.KVM,
+                               failure_hook=hook)
+        transplant.as_process(engine)
+        with pytest.raises(TransplantError, match="aborted"):
+            engine.run()
+        assert transplant.rolled_back
+        assert vm.state.value == "running"
+        assert machine.hypervisor.kind is HypervisorKind.XEN

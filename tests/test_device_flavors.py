@@ -1,0 +1,69 @@
+"""Tests for the paravirtual transport swap across transplants."""
+
+import pytest
+
+from repro.guest.drivers import NetworkDriver
+from repro.hypervisors.base import HypervisorKind
+from repro.sim.clock import SimClock
+from repro.core.transplant import HyperTP
+from repro.devices.model import NATIVE_NET_FLAVOR, restore_devices
+
+
+class TestFlavorMapping:
+    def test_every_hypervisor_has_a_flavor(self):
+        for kind in HypervisorKind:
+            assert kind.value in NATIVE_NET_FLAVOR
+
+    def test_rescan_without_flavor_keeps_current(self):
+        nic = NetworkDriver(flavor="xen-netfront")
+        nic.unplug()
+        nic.rescan()
+        assert nic.flavor == "xen-netfront"
+
+    def test_restore_devices_switches_flavor(self):
+        nic = NetworkDriver(flavor="xen-netfront")
+        nic.unplug()
+        restore_devices([nic], target_kind="kvm")
+        assert nic.flavor == "virtio-net"
+
+
+class TestFlavorAcrossTransplants:
+    def test_xen_to_kvm_installs_virtio(self, xen_host):
+        vm = next(iter(xen_host.hypervisor.domains.values())).vm
+        nic = NetworkDriver("net0", flavor="xen-netfront")
+        vm.attach_device(nic)
+        HyperTP().inplace(xen_host, HypervisorKind.KVM, SimClock())
+        assert nic.flavor == "virtio-net"
+        assert nic.state.value == "active"
+        assert nic.tcp_connections_alive
+
+    def test_round_trip_returns_to_netfront(self, xen_host):
+        vm = next(iter(xen_host.hypervisor.domains.values())).vm
+        nic = NetworkDriver("net0", flavor="xen-netfront")
+        vm.attach_device(nic)
+        hypertp = HyperTP()
+        clock = SimClock()
+        hypertp.inplace(xen_host, HypervisorKind.KVM, clock)
+        assert nic.flavor == "virtio-net"
+        hypertp.inplace(xen_host, HypervisorKind.XEN, clock)
+        assert nic.flavor == "xen-netfront"
+
+    def test_abort_keeps_source_flavor(self, xen_host):
+        from repro.core.inplace import InPlaceTP
+        from repro.errors import TransplantError
+
+        vm = next(iter(xen_host.hypervisor.domains.values())).vm
+        nic = NetworkDriver("net0", flavor="xen-netfront")
+        vm.attach_device(nic)
+
+        def hook(phase):
+            if phase == "translate":
+                raise RuntimeError("chaos")
+
+        transplant = InPlaceTP(xen_host, HypervisorKind.KVM,
+                               failure_hook=hook)
+        with pytest.raises(TransplantError):
+            transplant.run(SimClock())
+        # Rolled back onto Xen: the interface must still be netfront.
+        assert nic.flavor == "xen-netfront"
+        assert nic.state.value == "active"

@@ -1,0 +1,118 @@
+"""Negative-path and contract tests for the generic hypervisor base."""
+
+import pytest
+
+from repro.errors import HypervisorError
+from repro.guest.vm import VMConfig
+from repro.hypervisors import (
+    HYPERVISOR_CLASSES,
+    KVMHypervisor,
+    XenHypervisor,
+    make_hypervisor,
+)
+from repro.hypervisors.base import HypervisorKind
+
+GIB = 1024 ** 3
+
+
+class TestLifecycleContracts:
+    def test_unbooted_hypervisor_rejects_operations(self):
+        xen = XenHypervisor()
+        with pytest.raises(HypervisorError, match="not booted"):
+            xen.create_vm(VMConfig("g", memory_bytes=GIB))
+
+    def test_unknown_domain_operations(self, m1):
+        xen = XenHypervisor()
+        xen.boot(m1)
+        for operation in (xen.destroy_domain, xen.detach_domain):
+            with pytest.raises(HypervisorError, match="no domain"):
+                operation(99)
+        with pytest.raises(HypervisorError):
+            xen.pause_domain(99, 0.0)
+
+    def test_domain_of_unknown_vm(self, m1, m2):
+        xen = XenHypervisor()
+        xen.boot(m1)
+        other = KVMHypervisor()
+        other.boot(m2)
+        foreign = other.create_vm(VMConfig("f", memory_bytes=GIB))
+        with pytest.raises(HypervisorError, match="not hosted"):
+            xen.domain_of(foreign.vm)
+
+    def test_domids_monotonic_across_destroy(self, m1):
+        xen = XenHypervisor()
+        xen.boot(m1)
+        first = xen.create_vm(VMConfig("a", memory_bytes=GIB))
+        xen.destroy_domain(first.domid)
+        second = xen.create_vm(VMConfig("b", memory_bytes=GIB))
+        assert second.domid > first.domid
+
+    def test_shutdown_clears_machine_binding(self, m1):
+        xen = XenHypervisor()
+        xen.boot(m1)
+        xen.shutdown()
+        assert m1.hypervisor is None
+        assert not xen.booted
+        # The machine can host something else now.
+        KVMHypervisor().boot(m1)
+
+    def test_destroy_releases_guest_memory(self, m1):
+        xen = XenHypervisor()
+        xen.boot(m1)
+        domain = xen.create_vm(VMConfig("a", memory_bytes=GIB))
+        assert m1.memory.allocated_bytes == GIB
+        xen.destroy_domain(domain.domid)
+        assert m1.memory.allocated_bytes == 0
+
+    def test_destroy_without_release_keeps_vm(self, m1):
+        xen = XenHypervisor()
+        xen.boot(m1)
+        domain = xen.create_vm(VMConfig("a", memory_bytes=GIB))
+        xen.destroy_domain(domain.domid, release_vm=False)
+        assert m1.memory.allocated_bytes == GIB
+        assert domain.vm.state.value == "running"
+
+
+class TestRegistryCompleteness:
+    def test_every_kind_has_a_class(self):
+        assert set(HYPERVISOR_CLASSES) == set(HypervisorKind)
+
+    def test_make_hypervisor_all_kinds(self):
+        for kind in HypervisorKind:
+            assert make_hypervisor(kind).kind is kind
+
+    def test_every_kind_has_boot_model(self, m1):
+        from repro.core.timings import DEFAULT_COST_MODEL
+
+        for kind in HypervisorKind:
+            assert DEFAULT_COST_MODEL.kernel_boot_s(m1, kind) > 0
+
+    def test_every_kind_has_stopcopy_model(self):
+        from repro.core.timings import DEFAULT_COST_MODEL
+
+        for kind in HypervisorKind:
+            assert DEFAULT_COST_MODEL.stopcopy_overhead_s(kind, 1) > 0
+
+    def test_every_kind_has_libvirt_uri(self, m1):
+        from repro.orchestrator.libvirt import _URI_BY_KIND
+
+        assert set(_URI_BY_KIND) == set(HypervisorKind)
+
+    def test_every_kind_has_net_flavor(self):
+        from repro.devices.model import NATIVE_NET_FLAVOR
+
+        assert set(NATIVE_NET_FLAVOR) == {k.value for k in HypervisorKind}
+
+
+class TestMemoryReportContract:
+    def test_total_is_sum_of_categories(self, xen_host):
+        report = xen_host.hypervisor.memory_report()
+        assert report.total == (report.guest_state + report.vmi_state
+                                + report.management_state + report.hv_state)
+
+    def test_empty_host_has_no_guest_state(self, m1):
+        xen = XenHypervisor()
+        xen.boot(m1)
+        report = xen.memory_report()
+        assert report.guest_state == 0
+        assert report.hv_state > 0

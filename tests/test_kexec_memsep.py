@@ -1,0 +1,125 @@
+"""Tests for the micro-reboot and the memory-separation classifier."""
+
+import pytest
+
+from repro.errors import KexecError
+from repro.guest.vm import VMConfig
+from repro.hypervisors import KVMHypervisor, XenHypervisor
+from repro.hypervisors.base import HypervisorKind
+from repro.core.kexec import KexecImage, load_kexec_image, micro_reboot
+from repro.core.memsep import (
+    ACTION_FOR_CATEGORY,
+    MemoryCategory,
+    TransplantAction,
+    classify,
+    transplant_work_summary,
+)
+
+GIB = 1024 ** 3
+
+
+class TestKexec:
+    def test_image_cmdline_carries_pram_pointer(self):
+        image = KexecImage(kind=HypervisorKind.KVM, cmdline_pram_pointer=0x1234)
+        assert "pram=0x1234" in image.cmdline
+
+    def test_load_stages_on_machine(self, m1):
+        image = load_kexec_image(m1, HypervisorKind.KVM)
+        assert m1.staged_kernel is image
+
+    def test_reboot_without_staged_kernel_fails(self, xen_host):
+        with pytest.raises(KexecError):
+            micro_reboot(xen_host, KVMHypervisor(), pram_pointer=None)
+
+    def test_reboot_with_wrong_kind_fails(self, xen_host):
+        load_kexec_image(xen_host, HypervisorKind.XEN)
+        with pytest.raises(KexecError):
+            micro_reboot(xen_host, KVMHypervisor(), pram_pointer=None)
+
+    def test_reboot_swaps_hypervisor(self, xen_host):
+        old = xen_host.hypervisor
+        # Pin the guest so its memory survives (the PRAM contract).
+        for domain in old.domains.values():
+            domain.vm.image.pin_all()
+        load_kexec_image(xen_host, HypervisorKind.KVM)
+        kvm = KVMHypervisor()
+        micro_reboot(xen_host, kvm, pram_pointer=0x1000)
+        assert xen_host.hypervisor is kvm
+        assert not old.booted
+        assert xen_host.staged_kernel is None
+
+    def test_reboot_resets_nic(self, xen_host):
+        for domain in xen_host.hypervisor.domains.values():
+            domain.vm.image.pin_all()
+        load_kexec_image(xen_host, HypervisorKind.KVM)
+        micro_reboot(xen_host, KVMHypervisor(), pram_pointer=None)
+        assert not xen_host.nic.link_up
+
+    def test_unpinned_memory_is_reclaimed(self, xen_host):
+        guest_vm = next(iter(xen_host.hypervisor.domains.values())).vm
+        load_kexec_image(xen_host, HypervisorKind.KVM)
+        # Deliberately do NOT pin: the guest's frames are reclaimed, which
+        # is exactly the catastrophe PRAM registration prevents.
+        micro_reboot(xen_host, KVMHypervisor(), pram_pointer=None)
+        assert xen_host.memory.allocated_bytes == 0
+
+    def test_pinned_guest_survives_bit_identical(self, xen_host):
+        vm = next(iter(xen_host.hypervisor.domains.values())).vm
+        digest = vm.image.content_digest()
+        vm.image.pin_all()
+        load_kexec_image(xen_host, HypervisorKind.KVM)
+        micro_reboot(xen_host, KVMHypervisor(), pram_pointer=None)
+        assert vm.image.content_digest() == digest
+
+
+class TestMemorySeparation:
+    def test_categories_partition_memory(self, xen_host):
+        breakdown = classify(xen_host.hypervisor)
+        assert set(breakdown.bytes_by_category) == set(MemoryCategory)
+        assert breakdown.total_bytes == sum(
+            breakdown.bytes_by_category.values()
+        )
+
+    def test_guest_state_dominates(self, xen_host):
+        # §3.2: Guest State is the largest share by far.
+        breakdown = classify(xen_host.hypervisor)
+        assert breakdown.fraction(MemoryCategory.GUEST_STATE) > 0.5
+        assert breakdown.untouched_bytes == GIB
+
+    def test_only_vmi_state_is_translated(self, xen_host):
+        breakdown = classify(xen_host.hypervisor)
+        plan = breakdown.action_plan()
+        translated = [c for c, a in plan.items()
+                      if a is TransplantAction.TRANSLATE]
+        assert translated == [MemoryCategory.VMI_STATE]
+        assert breakdown.translated_bytes == breakdown.bytes_by_category[
+            MemoryCategory.VMI_STATE
+        ]
+
+    def test_action_mapping_matches_fig2(self):
+        assert ACTION_FOR_CATEGORY[MemoryCategory.GUEST_STATE] is \
+            TransplantAction.KEEP_IN_PLACE
+        assert ACTION_FOR_CATEGORY[MemoryCategory.MANAGEMENT_STATE] is \
+            TransplantAction.REBUILD
+        assert ACTION_FOR_CATEGORY[MemoryCategory.HV_STATE] is \
+            TransplantAction.REINITIALIZE
+
+    def test_vmi_state_grows_with_vms(self, xen_host_factory):
+        one = classify(xen_host_factory(vm_count=1).hypervisor)
+        four = classify(xen_host_factory(vm_count=4).hypervisor)
+        assert (four.bytes_by_category[MemoryCategory.VMI_STATE]
+                > one.bytes_by_category[MemoryCategory.VMI_STATE])
+
+    def test_summary_lines(self, xen_host):
+        lines = transplant_work_summary(xen_host.hypervisor)
+        assert len(lines) == 4
+        assert any("keep-in-place" in line for line in lines)
+
+    def test_xen_vs_kvm_vmi_state_differs(self, xen_host_factory,
+                                          kvm_host_factory):
+        # Different NPT policies => different VM_i State footprints for the
+        # same guest: the reason translation (not copying) is needed.
+        xen = classify(xen_host_factory(vm_count=1).hypervisor)
+        kvm = classify(kvm_host_factory(vm_count=1).hypervisor)
+        assert (xen.bytes_by_category[MemoryCategory.VMI_STATE]
+                != kvm.bytes_by_category[MemoryCategory.VMI_STATE])

@@ -1,0 +1,79 @@
+"""Tests for reconfiguration-plan serialization and metric percentiles."""
+
+import json
+
+import pytest
+
+from repro.errors import PlanningError, ReproError
+from repro.cluster import export_plan, import_plan, summarize_plan
+from repro.cluster.btrplace import BtrPlacePlanner
+from repro.cluster.executor import PlanExecutor
+from repro.cluster.model import build_paper_cluster
+from repro.workloads.base import MetricSeries
+
+
+class TestPlanSerialization:
+    def _plan(self, fraction=0.5):
+        cluster = build_paper_cluster(inplace_fraction=fraction)
+        return BtrPlacePlanner(cluster).plan()
+
+    def test_roundtrip_preserves_structure(self):
+        plan = self._plan()
+        restored = import_plan(export_plan(plan))
+        assert restored.migration_count == plan.migration_count
+        assert restored.upgrade_count == plan.upgrade_count
+        assert len(restored.groups) == len(plan.groups)
+        assert [m.vm_name for m in restored.migrations()] == \
+            [m.vm_name for m in plan.migrations()]
+
+    def test_roundtrip_executes_identically(self):
+        plan = self._plan()
+        executor = PlanExecutor()
+        original = executor.execute(plan)
+        restored = executor.execute(import_plan(export_plan(plan)))
+        assert restored.total_s == pytest.approx(original.total_s)
+
+    def test_export_is_valid_json(self):
+        document = json.loads(export_plan(self._plan()))
+        assert document["format"] == "hypertp-plan"
+        assert document["groups"][0]["nodes"]
+
+    def test_import_validates_envelope(self):
+        with pytest.raises(PlanningError, match="valid JSON"):
+            import_plan("{nope")
+        with pytest.raises(PlanningError, match="not a hypertp plan"):
+            import_plan(json.dumps({"format": "other"}))
+        with pytest.raises(PlanningError, match="version"):
+            import_plan(json.dumps({"format": "hypertp-plan",
+                                    "version": 99}))
+        with pytest.raises(PlanningError, match="malformed"):
+            import_plan(json.dumps({"format": "hypertp-plan", "version": 1,
+                                    "groups": [{"index": 0}]}))
+
+    def test_summary_mentions_every_group(self):
+        plan = self._plan()
+        summary = summarize_plan(plan)
+        assert f"{plan.migration_count} migrations" in summary
+        for group in plan.groups:
+            assert f"round {group.group_index}" in summary
+
+
+class TestPercentiles:
+    def _series(self):
+        series = MetricSeries("m", "x")
+        for i in range(100):
+            series.append(float(i), float(i + 1))  # 1..100
+        return series
+
+    def test_median_and_p99(self):
+        series = self._series()
+        assert series.percentile(0.5) == 50.0
+        assert series.percentile(0.99) == 99.0
+        assert series.percentile(1.0) == 100.0
+        assert series.percentile(0.0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            MetricSeries("m", "x").percentile(0.5)
+        with pytest.raises(ReproError):
+            self._series().percentile(1.5)

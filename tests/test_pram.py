@@ -1,0 +1,134 @@
+"""Tests for the PRAM over-kexec memory file system."""
+
+import pytest
+
+from repro.errors import PRAMError
+from repro.guest.image import GuestImage
+from repro.hw.memory import PAGE_2M, PAGE_4K, PhysicalMemory
+from repro.core.pram import PageEntry, PRAMFilesystem
+
+GIB = 1024 ** 3
+
+
+def make_fs_with_vm(vm_gib=1.0, page_size=PAGE_2M):
+    memory = PhysicalMemory(4 * GIB)
+    image = GuestImage(memory, int(vm_gib * GIB), page_size=page_size)
+    fs = PRAMFilesystem(memory)
+    fs.add_vm_file("vm0", image.mappings(), page_size=page_size)
+    return memory, image, fs
+
+
+class TestPageEntry:
+    def test_pack_unpack_roundtrip(self):
+        entry = PageEntry(gfn=12345, mfn=67890, order=9)
+        assert PageEntry.unpacked(entry.packed()) == entry
+
+    def test_byte_size_power_of_two(self):
+        assert PageEntry(gfn=0, mfn=0, order=0).byte_size == PAGE_4K
+        assert PageEntry(gfn=0, mfn=0, order=9).byte_size == PAGE_2M
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(PRAMError):
+            PageEntry(gfn=1 << 40, mfn=0, order=0).packed()
+
+
+class TestPRAMFilesystem:
+    def test_hugepage_vm_entry_count(self):
+        _, image, fs = make_fs_with_vm()
+        assert len(fs.files["vm0"].entries) == 512  # 1 GiB / 2 MiB
+
+    def test_metadata_matches_paper_16kb_for_1gib(self):
+        # §5.5: 16 KB of PRAM metadata for a single 1 GB VM with 2 MB pages.
+        _, _, fs = make_fs_with_vm()
+        assert fs.metadata_bytes() == 16 * 1024
+
+    def test_metadata_matches_paper_60kb_for_12gib(self):
+        memory = PhysicalMemory(16 * GIB)
+        image = GuestImage(memory, 12 * GIB, page_size=PAGE_2M)
+        fs = PRAMFilesystem(memory)
+        fs.add_vm_file("big", image.mappings(), page_size=PAGE_2M)
+        assert fs.metadata_bytes() == 60 * 1024
+
+    def test_metadata_matches_paper_148kb_for_12_vms(self):
+        memory = PhysicalMemory(16 * GIB)
+        fs = PRAMFilesystem(memory)
+        for i in range(12):
+            image = GuestImage(memory, GIB, page_size=PAGE_2M)
+            fs.add_vm_file(f"vm{i}", image.mappings(), page_size=PAGE_2M)
+        assert fs.metadata_bytes() == 148 * 1024
+
+    def test_worst_case_4k_overhead_2mb_per_gib(self):
+        # §5.5: 8 B/page => ~2 MB of metadata per GB with all-4K pages.
+        memory = PhysicalMemory(4 * GIB)
+        image = GuestImage(memory, GIB, page_size=PAGE_4K)
+        fs = PRAMFilesystem(memory)
+        fs.add_vm_file("vm0", image.mappings(), page_size=PAGE_4K)
+        overhead = fs.metadata_bytes()
+        assert 2_000_000 < overhead < 2_300_000
+
+    def test_layout_roundtrip(self):
+        _, image, fs = make_fs_with_vm()
+        assert fs.layout_of("vm0") == dict(image.mappings())
+
+    def test_unknown_file_rejected(self):
+        _, _, fs = make_fs_with_vm()
+        with pytest.raises(PRAMError):
+            fs.layout_of("ghost")
+
+    def test_duplicate_file_rejected(self):
+        memory, image, fs = make_fs_with_vm()
+        with pytest.raises(PRAMError):
+            fs.add_vm_file("vm0", image.mappings(), page_size=PAGE_2M)
+
+    def test_seal_pins_guest_and_metadata(self):
+        memory, image, fs = make_fs_with_vm()
+        pointer = fs.seal()
+        assert pointer is not None
+        for _, mfn in image.mappings():
+            assert memory.is_pinned(mfn)
+        # Metadata pages are pinned too (they must survive the kexec).
+        assert len(memory.pinned_frames()) > image.page_count
+
+    def test_seal_twice_rejected(self):
+        _, _, fs = make_fs_with_vm()
+        fs.seal()
+        with pytest.raises(PRAMError):
+            fs.seal()
+
+    def test_add_after_seal_rejected(self):
+        memory, image, fs = make_fs_with_vm()
+        fs.seal()
+        with pytest.raises(PRAMError):
+            fs.add_vm_file("late", [], page_size=PAGE_2M)
+
+    def test_encode_decode_roundtrip(self):
+        memory, image, fs = make_fs_with_vm()
+        decoded = PRAMFilesystem.decode(fs.encode(), memory)
+        assert decoded.layout_of("vm0") == fs.layout_of("vm0")
+        assert decoded.files["vm0"].page_size == PAGE_2M
+
+    def test_entries_survive_memory_reset(self):
+        memory, image, fs = make_fs_with_vm()
+        digest = image.content_digest()
+        fs.seal()
+        memory.reset_except_pinned()
+        assert image.content_digest() == digest
+
+    def test_teardown_returns_metadata(self):
+        memory, image, fs = make_fs_with_vm()
+        fs.seal()
+        allocated_with_pram = memory.allocated_bytes
+        fs.release_guest_pins("vm0")
+        freed = fs.teardown()
+        assert freed == 16 * 1024
+        assert memory.allocated_bytes == allocated_with_pram - freed
+
+    def test_described_bytes(self):
+        _, image, fs = make_fs_with_vm()
+        assert fs.described_bytes() == image.size_bytes
+
+    def test_non_power_of_two_page_size_rejected(self):
+        memory = PhysicalMemory(GIB)
+        fs = PRAMFilesystem(memory)
+        with pytest.raises(PRAMError):
+            fs.add_vm_file("vm0", [], page_size=PAGE_4K * 3)

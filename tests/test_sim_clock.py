@@ -1,0 +1,62 @@
+"""Tests for the simulated clock."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import SimClock
+
+
+def test_starts_at_zero():
+    assert SimClock().now == 0.0
+
+
+def test_starts_at_epoch():
+    assert SimClock(epoch=12.5).now == 12.5
+
+
+def test_negative_epoch_rejected():
+    with pytest.raises(SimulationError):
+        SimClock(epoch=-1.0)
+
+
+def test_advance_moves_forward():
+    clock = SimClock()
+    assert clock.advance(2.5) == 2.5
+    assert clock.advance(0.5) == 3.0
+    assert clock.now == 3.0
+
+
+def test_advance_zero_is_allowed():
+    clock = SimClock()
+    clock.advance(0.0)
+    assert clock.now == 0.0
+
+
+def test_advance_negative_rejected():
+    clock = SimClock()
+    with pytest.raises(SimulationError):
+        clock.advance(-0.1)
+
+
+def test_advance_to_absolute():
+    clock = SimClock()
+    clock.advance_to(7.0)
+    assert clock.now == 7.0
+
+
+def test_advance_to_past_rejected():
+    clock = SimClock()
+    clock.advance_to(5.0)
+    with pytest.raises(SimulationError):
+        clock.advance_to(4.999)
+
+
+def test_advance_to_same_time_is_noop():
+    clock = SimClock()
+    clock.advance_to(5.0)
+    clock.advance_to(5.0)
+    assert clock.now == 5.0
+
+
+def test_repr_contains_time():
+    assert "3.5" in repr(SimClock(epoch=3.5))

@@ -1,0 +1,114 @@
+"""Tests for CPU pools and bandwidth links."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.resources import (
+    BandwidthLink,
+    CPUPool,
+    effective_tcp_rate,
+    gigabits,
+    pages_for,
+)
+
+
+class TestCPUPool:
+    def test_single_worker_serializes(self):
+        pool = CPUPool(1)
+        assert pool.parallel_makespan([1.0, 2.0, 3.0]) == 6.0
+
+    def test_enough_workers_take_the_max(self):
+        pool = CPUPool(8)
+        assert pool.parallel_makespan([1.0, 2.0, 3.0]) == 3.0
+
+    def test_two_workers_balance(self):
+        pool = CPUPool(2)
+        # LPT: worker A gets 3, worker B gets 2+1.
+        assert pool.parallel_makespan([3.0, 2.0, 1.0]) == 3.0
+
+    def test_makespan_never_beats_max_task(self):
+        pool = CPUPool(4)
+        tasks = [0.5] * 10 + [4.0]
+        assert pool.parallel_makespan(tasks) >= 4.0
+
+    def test_empty_tasks(self):
+        assert CPUPool(4).parallel_makespan([]) == 0.0
+
+    def test_serial_makespan_is_sum(self):
+        assert CPUPool(4).serial_makespan([1.0, 2.0]) == 3.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(SimulationError):
+            CPUPool(2).parallel_makespan([1.0, -1.0])
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(SimulationError):
+            CPUPool(0)
+
+    def test_more_workers_never_slower(self):
+        tasks = [0.3, 1.2, 0.7, 2.0, 0.9, 1.5]
+        times = [CPUPool(w).parallel_makespan(tasks) for w in (1, 2, 4, 8)]
+        assert times == sorted(times, reverse=True)
+
+
+class TestBandwidthLink:
+    def test_transfer_time_is_linear(self):
+        link = BandwidthLink(100.0)
+        assert link.transfer_time(200.0) == pytest.approx(2.0)
+
+    def test_latency_added(self):
+        link = BandwidthLink(100.0, latency_s=0.5)
+        assert link.transfer_time(100.0) == pytest.approx(1.5)
+
+    def test_zero_bytes_costs_latency_only(self):
+        link = BandwidthLink(100.0, latency_s=0.25)
+        assert link.transfer_time(0) == 0.25
+
+    def test_fair_sharing_slows_flows(self):
+        link = BandwidthLink(100.0)
+        assert link.transfer_time(100.0, concurrent=4) == pytest.approx(4.0)
+
+    def test_sequential_transfer_sums(self):
+        link = BandwidthLink(100.0)
+        assert link.sequential_transfer_time([100.0, 200.0]) == pytest.approx(3.0)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(SimulationError):
+            BandwidthLink(100.0).transfer_time(-1)
+
+    def test_bad_concurrency_rejected(self):
+        with pytest.raises(SimulationError):
+            BandwidthLink(100.0).flow_rate(0)
+
+    def test_nonpositive_rate_rejected(self):
+        with pytest.raises(SimulationError):
+            BandwidthLink(0.0)
+
+
+def test_gigabits_conversion():
+    assert gigabits(1.0) == pytest.approx(125e6)
+    assert gigabits(10.0) == pytest.approx(1.25e9)
+
+
+def test_effective_tcp_rate_below_raw():
+    raw = gigabits(1.0)
+    assert effective_tcp_rate(raw) < raw
+    assert effective_tcp_rate(raw, efficiency=1.0) == raw
+
+
+def test_effective_tcp_rate_validates_efficiency():
+    with pytest.raises(SimulationError):
+        effective_tcp_rate(1e9, efficiency=0.0)
+    with pytest.raises(SimulationError):
+        effective_tcp_rate(1e9, efficiency=1.5)
+
+
+def test_pages_for_rounds_up():
+    assert pages_for(1, 4096) == 1
+    assert pages_for(4096, 4096) == 1
+    assert pages_for(4097, 4096) == 2
+
+
+def test_pages_for_bad_page_size():
+    with pytest.raises(SimulationError):
+        pages_for(100, 0)

@@ -1,0 +1,172 @@
+"""Randomized fleet stress test — a lightweight model check.
+
+Drives a small fleet through a long, seeded-random sequence of operations
+(create/destroy VMs, in-place transplants in every direction, migrations,
+injected failures) and asserts the global invariants after every step:
+
+* every VM the model says is alive is RUNNING on exactly one host and its
+  memory digest matches the model's expectation;
+* no host leaks pinned frames or staged kernels between operations;
+* host memory accounting equals the sum of resident guests' images.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import ReproError, TransplantError
+from repro.guest.vm import VMConfig, VMState
+from repro.hw.machine import M1_SPEC, Machine
+from repro.hw.network import Fabric
+from repro.hypervisors import make_hypervisor
+from repro.hypervisors.base import HypervisorKind
+from repro.sim.clock import SimClock
+from repro.core.inplace import InPlaceTP
+from repro.core.migration import MigrationTP
+from repro.guest.devices import make_default_platform
+from repro.hypervisors.nova.formats import NOVA_IOAPIC_PINS
+from repro.guest.devices import KVM_IOAPIC_PINS, XEN_IOAPIC_PINS
+
+GIB = 1024 ** 3
+KINDS = (HypervisorKind.XEN, HypervisorKind.KVM, HypervisorKind.NOVA)
+PINS = {
+    HypervisorKind.XEN: XEN_IOAPIC_PINS,
+    HypervisorKind.KVM: KVM_IOAPIC_PINS,
+    HypervisorKind.NOVA: NOVA_IOAPIC_PINS,
+}
+
+
+class FleetModel:
+    """The oracle: what the fleet *should* look like."""
+
+    def __init__(self, hosts):
+        self.hosts = hosts  # name -> Machine
+        self.vm_host = {}  # vm name -> host name
+        self.vm_digest = {}  # vm name -> expected digest
+
+    def check(self):
+        for host_name, machine in self.hosts.items():
+            hypervisor = machine.hypervisor
+            assert hypervisor is not None
+            assert machine.staged_kernel is None
+            assert not machine.memory.pinned_frames(), \
+                f"{host_name} leaked pinned frames"
+            resident = {d.vm.name for d in hypervisor.domains.values()}
+            expected = {vm for vm, h in self.vm_host.items()
+                        if h == host_name}
+            assert resident == expected, \
+                f"{host_name}: resident {resident} != model {expected}"
+            guest_bytes = sum(d.vm.image.size_bytes
+                              for d in hypervisor.domains.values())
+            assert machine.memory.allocated_bytes == guest_bytes
+            for domain in hypervisor.domains.values():
+                assert domain.vm.state is VMState.RUNNING
+                assert (domain.vm.image.content_digest()
+                        == self.vm_digest[domain.vm.name])
+
+
+def build_fleet(rng):
+    fabric = Fabric()
+    hosts = {}
+    for i, kind in enumerate(KINDS):
+        machine = Machine(M1_SPEC, name=f"stress-{i}")
+        make_hypervisor(kind).boot(machine)
+        hosts[machine.name] = machine
+    fabric.full_mesh(hosts.values())
+    return fabric, hosts
+
+
+@pytest.mark.parametrize("seed", [1, 7, 42])
+def test_randomized_fleet_operations(seed):
+    rng = random.Random(seed)
+    fabric, hosts = build_fleet(rng)
+    model = FleetModel(hosts)
+    clock = SimClock()
+    vm_serial = 0
+
+    def create_vm(host_name):
+        nonlocal vm_serial
+        machine = hosts[host_name]
+        hypervisor = machine.hypervisor
+        if machine.memory.free_bytes < 2 * GIB:
+            return
+        name = f"svm{vm_serial}"
+        vm_serial += 1
+        domain = hypervisor.create_vm(VMConfig(
+            name, vcpus=rng.randint(1, 2), memory_bytes=GIB,
+            seed=rng.randint(0, 9999),
+        ))
+        domain.vm.platform = make_default_platform(
+            domain.vm.config.vcpus, ioapic_pins=PINS[hypervisor.kind],
+            seed=rng.randint(0, 9999),
+        )
+        model.vm_host[name] = host_name
+        model.vm_digest[name] = domain.vm.image.content_digest()
+
+    def destroy_vm(host_name):
+        hypervisor = hosts[host_name].hypervisor
+        if not hypervisor.domains:
+            return
+        domid = rng.choice(sorted(hypervisor.domains))
+        name = hypervisor.domains[domid].vm.name
+        hypervisor.destroy_domain(domid)
+        del model.vm_host[name]
+        del model.vm_digest[name]
+
+    def guest_writes(host_name):
+        hypervisor = hosts[host_name].hypervisor
+        for domain in hypervisor.domains.values():
+            domain.vm.image.dirty_some(0.05, rng)
+            model.vm_digest[domain.vm.name] = \
+                domain.vm.image.content_digest()
+
+    def inplace(host_name):
+        machine = hosts[host_name]
+        current = machine.hypervisor.kind
+        target = rng.choice([k for k in KINDS if k is not current])
+        fail_phase = rng.choice([None, None, None, "pram", "translate"])
+        hook = None
+        if fail_phase is not None:
+            def hook(phase, fail=fail_phase):
+                if phase == fail:
+                    raise RuntimeError("chaos")
+        transplant = InPlaceTP(machine, target, failure_hook=hook)
+        try:
+            transplant.run(clock)
+        except TransplantError:
+            assert transplant.rolled_back
+
+    def migrate(host_name):
+        source = hosts[host_name]
+        src_hv = source.hypervisor
+        if not src_hv.domains:
+            return
+        candidates = [m for m in hosts.values()
+                      if m is not source
+                      and m.hypervisor.kind is not src_hv.kind
+                      and m.memory.free_bytes >= 2 * GIB]
+        if not candidates:
+            return
+        destination = rng.choice(candidates)
+        domid = rng.choice(sorted(src_hv.domains))
+        domain = src_hv.domains[domid]
+        name = domain.vm.name
+        MigrationTP(fabric, source, destination).migrate(
+            domain, SimClock(clock.now), guest_writes_rng=rng,
+            dirty_rate_bytes_s=rng.choice([1 << 20, 32 << 20]),
+        )
+        model.vm_host[name] = destination.name
+        model.vm_digest[name] = domain.vm.image.content_digest()
+
+    operations = [create_vm, create_vm, guest_writes, inplace, migrate,
+                  destroy_vm]
+    for _ in range(40):
+        op = rng.choice(operations)
+        host = rng.choice(sorted(hosts))
+        op(host)
+        clock.advance(1.0)
+        model.check()
+
+    # The fleet survived 40 random operations with every invariant intact.
+    assert sum(len(m.hypervisor.domains) for m in hosts.values()) \
+        == len(model.vm_host)

@@ -1,0 +1,83 @@
+"""Tests for the attack-surface analysis."""
+
+import pytest
+
+from repro.errors import VulnDBError
+from repro.vulndb.cve import Severity
+from repro.vulndb.data import load_default_database
+from repro.vulndb.surface import (
+    escape_report,
+    interfaces_of,
+    per_interface_exposure,
+    repertoire_coverage,
+    shared_components,
+)
+
+
+@pytest.fixture(scope="module")
+def db():
+    return load_default_database()
+
+
+class TestInventory:
+    def test_xen_exposes_pv_and_toolstack(self):
+        names = {i.name for i in interfaces_of("xen")}
+        assert "pv" in names and "toolstack" in names
+
+    def test_kvm_exposes_ioctls(self):
+        names = {i.name for i in interfaces_of("kvm")}
+        assert "ioctl" in names
+        assert "pv" not in names
+
+    def test_nova_has_no_qemu(self):
+        names = {i.name for i in interfaces_of("nova")}
+        assert "qemu" not in names
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(VulnDBError):
+            interfaces_of("esxi")
+
+    def test_sharing_is_symmetric(self):
+        assert shared_components("xen", "kvm") == \
+            shared_components("kvm", "xen")
+        assert shared_components("xen", "kvm") == {"hardware", "qemu"}
+        assert shared_components("xen", "nova") == {"hardware"}
+
+
+class TestExposure:
+    def test_pv_dominates_xen_criticals(self, db):
+        exposure = per_interface_exposure(db, "xen", Severity.CRITICAL)
+        assert exposure["pv"] == max(exposure.values())
+        assert sum(exposure.values()) == 55
+
+    def test_kvm_exposure_sums_to_13(self, db):
+        exposure = per_interface_exposure(db, "kvm", Severity.CRITICAL)
+        assert sum(exposure.values()) == 13
+
+
+class TestEscape:
+    def test_xen_to_kvm_escapes_almost_everything(self, db):
+        report = escape_report(db, "xen", "kvm", Severity.CRITICAL)
+        # Only 1 of 55 critical Xen flaws (the shared QEMU one) follows.
+        assert report.total_flaws == 55
+        assert report.escaped_flaws == 54
+        assert report.escape_fraction > 0.98
+
+    def test_xen_to_nova_escapes_everything(self, db):
+        # NOVA carries no QEMU; all recorded Xen flaws are escaped (the
+        # dataset has no hardware-class flaw marked as affecting nova).
+        report = escape_report(db, "xen", "nova", Severity.CRITICAL)
+        assert report.escape_fraction == 1.0
+        assert report.shared == {"hardware"}
+
+    def test_medium_band_counts_commons(self, db):
+        report = escape_report(db, "xen", "kvm", Severity.MEDIUM)
+        # Two shared medium flaws (#AC/#DB) follow to KVM.
+        assert report.total_flaws - report.escaped_flaws == 2
+
+    def test_repertoire_coverage_improves_with_nova(self, db):
+        two = repertoire_coverage(db, ["xen", "kvm"])
+        three = repertoire_coverage(db, ["xen", "kvm", "nova"])
+        assert three["xen"] >= two["xen"]
+        assert three["kvm"] >= two["kvm"]
+        assert all(v > 0.9 for v in three.values())

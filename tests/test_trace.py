@@ -1,0 +1,79 @@
+"""Tests for span tracing and chrome-trace export."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.hw.machine import M1_SPEC
+from repro.hypervisors.base import HypervisorKind
+from repro.sim.clock import SimClock
+from repro.sim.trace import Span, Trace, trace_inplace, trace_migration
+from repro.bench.runner import make_host_pair, make_xen_host
+from repro.core.migration import MigrationTP
+from repro.core.transplant import HyperTP
+
+
+class TestSpan:
+    def test_duration(self):
+        span = Span("x", "cat", 1.0, 3.5)
+        assert span.duration_s == 2.5
+
+    def test_backwards_span_rejected(self):
+        with pytest.raises(ReproError):
+            Span("x", "cat", 3.0, 1.0)
+
+
+class TestTrace:
+    def test_total_span(self):
+        trace = Trace()
+        trace.extend([Span("a", "c", 0.0, 1.0), Span("b", "c", 5.0, 7.0)])
+        assert trace.total_span() == 7.0
+        assert Trace().total_span() == 0.0
+
+    def test_chrome_export_is_valid_json(self):
+        trace = Trace()
+        trace.add(Span("a", "c", 0.5, 1.0, args={"k": 1}))
+        document = json.loads(trace.to_chrome_trace())
+        event = document["traceEvents"][0]
+        assert event["name"] == "a"
+        assert event["ph"] == "X"
+        assert event["ts"] == pytest.approx(0.5e6)
+        assert event["dur"] == pytest.approx(0.5e6)
+        assert event["args"] == {"k": 1}
+
+
+class TestReportTraces:
+    def test_inplace_trace_matches_report(self):
+        machine = make_xen_host(M1_SPEC, vm_count=1)
+        report = HyperTP().inplace(machine, HypervisorKind.KVM, SimClock())
+        trace = trace_inplace(report)
+        by_name = {s.name: s for s in trace.spans}
+        assert by_name["PRAM"].duration_s == pytest.approx(report.pram_s)
+        assert by_name["Reboot"].duration_s == pytest.approx(report.reboot_s)
+        # The guests-paused span covers exactly the downtime.
+        assert by_name["VMs paused"].duration_s == pytest.approx(
+            report.downtime_s
+        )
+        # Phases are contiguous: translation starts when PRAM ends.
+        assert by_name["Translation"].start_s == pytest.approx(
+            by_name["PRAM"].end_s
+        )
+        json.loads(trace.to_chrome_trace())  # exports cleanly
+
+    def test_migration_trace_rounds(self):
+        source, destination, fabric = make_host_pair(
+            M1_SPEC, HypervisorKind.KVM,
+        )
+        domain = next(iter(source.hypervisor.domains.values()))
+        report = MigrationTP(fabric, source, destination).migrate(
+            domain, dirty_rate_bytes_s=48 << 20,
+        )
+        trace = trace_migration(report)
+        round_spans = [s for s in trace.spans if s.category == "precopy"]
+        assert len(round_spans) == report.round_count
+        stop = next(s for s in trace.spans if s.name == "stop-and-copy")
+        assert stop.duration_s == pytest.approx(report.downtime_s)
+        assert stop.start_s == pytest.approx(
+            sum(r.duration_s for r in report.rounds)
+        )

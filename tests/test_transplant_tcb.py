@@ -1,0 +1,141 @@
+"""Tests for the HyperTP façade, TCB accounting and device-model planning."""
+
+import pytest
+
+from repro.errors import TransplantError
+from repro.guest.drivers import EmulatedDriver, NetworkDriver, PassthroughDriver
+from repro.guest.vm import VMConfig
+from repro.hypervisors.base import HypervisorKind
+from repro.sim.clock import SimClock
+from repro.core.tcb import (
+    HYPERTP_COMPONENTS,
+    account,
+    attack_surface_properties,
+)
+from repro.core.transplant import HyperTP
+from repro.devices.model import (
+    STRATEGY_PASSTHROUGH,
+    STRATEGY_TRANSLATE,
+    STRATEGY_UNPLUG_RESCAN,
+    plan_device_transplant,
+    transplant_strategy_for,
+)
+
+GIB = 1024 ** 3
+
+
+class TestHyperTPFacade:
+    def test_inplace_path(self, xen_host):
+        report = HyperTP().inplace(xen_host, HypervisorKind.KVM, SimClock())
+        assert report.target == "kvm"
+        assert xen_host.hypervisor.kind is HypervisorKind.KVM
+
+    def test_migrate_path(self, xen_host_factory, kvm_host_factory, fabric):
+        source = xen_host_factory(name="fsrc")
+        destination = kvm_host_factory(name="fdst")
+        fabric.connect(source, destination)
+        domain = next(iter(source.hypervisor.domains.values()))
+        report = HyperTP().migrate(fabric, source, destination, domain,
+                                   SimClock())
+        assert report.heterogeneous
+
+    def test_transplant_host_all_compatible_needs_no_spare(
+            self, xen_host_factory):
+        machine = xen_host_factory(vm_count=3)
+        report = HyperTP().transplant_host(machine, HypervisorKind.KVM)
+        assert report.migrated_count == 0
+        assert report.inplace_count == 3
+
+    def test_transplant_host_mixed(self, xen_host_factory, kvm_host_factory,
+                                   fabric):
+        machine = xen_host_factory(vm_count=2)
+        xen = machine.hypervisor
+        xen.create_vm(VMConfig("fragile", vcpus=1, memory_bytes=GIB,
+                               inplace_compatible=False))
+        spare = kvm_host_factory(name="spare")
+        fabric.connect(machine, spare)
+        report = HyperTP().transplant_host(
+            machine, HypervisorKind.KVM, fabric=fabric, spare=spare,
+        )
+        assert report.migrated_count == 1
+        assert report.inplace_count == 2
+        assert report.migrated[0].vm_name == "fragile"
+        assert len(spare.hypervisor.domains) == 1
+
+    def test_incompatible_without_spare_fails(self, xen_host_factory):
+        machine = xen_host_factory(vm_count=0)
+        machine.hypervisor.create_vm(VMConfig(
+            "fragile", vcpus=1, memory_bytes=GIB, inplace_compatible=False,
+        ))
+        with pytest.raises(TransplantError):
+            HyperTP().transplant_host(machine, HypervisorKind.KVM)
+
+    def test_spare_must_run_target(self, xen_host_factory, fabric):
+        machine = xen_host_factory(vm_count=0)
+        machine.hypervisor.create_vm(VMConfig(
+            "fragile", vcpus=1, memory_bytes=GIB, inplace_compatible=False,
+        ))
+        wrong_spare = xen_host_factory(name="wrong", vm_count=0)
+        fabric.connect(machine, wrong_spare)
+        with pytest.raises(TransplantError):
+            HyperTP().transplant_host(machine, HypervisorKind.KVM,
+                                      fabric=fabric, spare=wrong_spare)
+
+    def test_worst_downtime_accounting(self, xen_host_factory):
+        machine = xen_host_factory(vm_count=2)
+        report = HyperTP().transplant_host(machine, HypervisorKind.KVM)
+        assert report.worst_downtime_s == report.inplace.downtime_s
+
+
+class TestTCBAccounting:
+    def test_totals_match_paper(self):
+        report = account()
+        assert report.total_kloc == pytest.approx(14.6, abs=0.01)
+        assert report.tcb_kloc == pytest.approx(8.5, abs=0.01)
+
+    def test_userspace_share_near_90_percent(self):
+        # §4.4: nearly 90 % of the TCB contribution sits in user space.
+        report = account()
+        assert 0.7 <= report.userspace_share <= 0.95
+
+    def test_relative_increase_is_tiny(self):
+        report = account()
+        assert report.relative_tcb_increase < 0.01  # vs millions of LOC
+
+    def test_attack_surface_claims(self):
+        props = attack_surface_properties()
+        assert props["activated_only_during_transplant"]
+        assert not props["processes_vm_inputs"]
+        assert props["isolated_between_vms"]
+
+    def test_component_inventory_has_4_entries(self):
+        assert len(HYPERTP_COMPONENTS) == 4
+
+
+class TestDevicePlanning:
+    def test_strategy_mapping(self):
+        assert transplant_strategy_for(PassthroughDriver("p"))[0] == \
+            STRATEGY_PASSTHROUGH
+        assert transplant_strategy_for(NetworkDriver("n"))[0] == \
+            STRATEGY_UNPLUG_RESCAN
+        assert transplant_strategy_for(EmulatedDriver("e"))[0] == \
+            STRATEGY_TRANSLATE
+
+    def test_passthrough_payload_is_empty(self):
+        # Pass-through driver state lives inside Guest State.
+        _, payload = transplant_strategy_for(PassthroughDriver("p"))
+        assert payload == b""
+
+    def test_emulated_payload_carries_state(self):
+        _, payload = transplant_strategy_for(EmulatedDriver("e",
+                                                            vmm_state_bytes=512))
+        assert len(payload) > 0
+
+    def test_plan_notifies_and_quiesces(self):
+        drivers = [PassthroughDriver("p"), NetworkDriver("n")]
+        plan = plan_device_transplant(drivers)
+        assert all(d.notified for d in drivers)
+        assert drivers[0].state.value == "paused"
+        assert drivers[1].state.value == "unplugged"
+        assert plan.prepare_seconds > 0
+        assert len(plan.restore_actions) == 2

@@ -1,0 +1,202 @@
+"""Tests for the vulnerability database, analyses, timelines and advisor."""
+
+import pytest
+
+from repro.errors import NoSafeHypervisorError, VulnDBError
+from repro.vulndb.advisor import TransplantAdvisor
+from repro.vulndb.analysis import (
+    category_breakdown,
+    common_share,
+    totals,
+    yearly_counts,
+)
+from repro.vulndb.cve import (
+    CVERecord,
+    Severity,
+    cvss_v2_base_score,
+    severity_for_score,
+)
+from repro.vulndb.data import TABLE1_COUNTS, load_default_database
+from repro.vulndb.timeline import window_statistics, windows_for
+
+
+@pytest.fixture(scope="module")
+def db():
+    return load_default_database()
+
+
+class TestCVSS:
+    def test_severity_bands_match_paper(self):
+        assert severity_for_score(7.0) is Severity.CRITICAL
+        assert severity_for_score(10.0) is Severity.CRITICAL
+        assert severity_for_score(6.9) is Severity.MEDIUM
+        assert severity_for_score(4.0) is Severity.MEDIUM
+        assert severity_for_score(3.9) is Severity.LOW
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(VulnDBError):
+            severity_for_score(11.0)
+
+    def test_cvss_v2_full_impact_network_vector(self):
+        # AV:N/AC:L/Au:N/C:C/I:C/A:C is the canonical 10.0.
+        assert cvss_v2_base_score("AV:N/AC:L/Au:N/C:C/I:C/A:C") == 10.0
+
+    def test_cvss_v2_no_impact_is_zero(self):
+        assert cvss_v2_base_score("AV:N/AC:L/Au:N/C:N/I:N/A:N") == 0.0
+
+    def test_cvss_v2_partial_dos(self):
+        # Local DoS, e.g. the #AC/#DB exception flaws: around 4.7-4.9.
+        score = cvss_v2_base_score("AV:L/AC:L/Au:N/C:N/I:N/A:C")
+        assert 4.0 <= score < 7.0
+
+    def test_bad_vector_rejected(self):
+        with pytest.raises(VulnDBError):
+            cvss_v2_base_score("AV:N/AC:L")
+        with pytest.raises(VulnDBError):
+            cvss_v2_base_score("AV:X/AC:L/Au:N/C:C/I:C/A:C")
+
+    def test_record_requires_score_or_vector(self):
+        with pytest.raises(VulnDBError):
+            CVERecord(cve_id="CVE-0-1", year=2020,
+                      affected=frozenset({"xen"}), component="pv")
+
+    def test_record_severity_from_vector(self):
+        record = CVERecord(
+            cve_id="CVE-0-2", year=2020, affected=frozenset({"xen"}),
+            component="pv", cvss_vector="AV:N/AC:L/Au:N/C:C/I:C/A:C",
+        )
+        assert record.severity is Severity.CRITICAL
+
+
+class TestDataset:
+    def test_every_table1_row_matches(self, db):
+        for row in yearly_counts(db):
+            expected = TABLE1_COUNTS[row.year]
+            assert (row.xen_critical, row.xen_medium, row.kvm_critical,
+                    row.kvm_medium, row.common_critical,
+                    row.common_medium) == expected
+
+    def test_totals(self, db):
+        t = totals(db)
+        assert t.xen_critical == 55
+        assert t.kvm_critical == 13
+        assert t.kvm_medium == 56
+        assert t.common_critical == 1
+        assert t.common_medium == 2
+        # Note: the paper's printed Xen-medium total (136) is inconsistent
+        # with its own per-year column, which sums to 171.
+        assert t.xen_medium == 171
+
+    def test_real_common_cves_present(self, db):
+        venom = db.get("CVE-2015-3456")
+        assert venom.is_common
+        assert venom.component == "qemu"
+        assert venom.severity is Severity.CRITICAL
+        for cve_id in ("CVE-2015-8104", "CVE-2015-5307"):
+            record = db.get(cve_id)
+            assert record.is_common
+            assert record.severity is Severity.MEDIUM
+
+    def test_common_counts(self, db):
+        assert common_share(db) == (1, 2)
+
+    def test_xen_component_shares_near_paper(self, db):
+        shares = category_breakdown(db, "xen")
+        assert shares["pv"] == pytest.approx(0.384, abs=0.05)
+        assert shares["resource-mgmt"] == pytest.approx(0.282, abs=0.05)
+        assert shares["hardware"] == pytest.approx(0.153, abs=0.05)
+
+    def test_kvm_component_shares_near_paper(self, db):
+        shares = category_breakdown(db, "kvm")
+        assert shares["qemu"] == pytest.approx(0.36, abs=0.07)
+        assert shares["ioctl"] == pytest.approx(0.27, abs=0.07)
+
+    def test_deterministic(self):
+        a = load_default_database()
+        b = load_default_database()
+        assert [r.cve_id for r in a.all()] == [r.cve_id for r in b.all()]
+
+    def test_unknown_cve_raises(self, db):
+        with pytest.raises(VulnDBError):
+            db.get("CVE-1999-0001")
+
+
+class TestTimeline:
+    def test_kvm_window_statistics_match_paper(self, db):
+        stats = window_statistics(db, "kvm")
+        assert stats.count == 24
+        assert stats.mean_days == pytest.approx(71, abs=1)
+        assert stats.min_days == 8
+        assert stats.max_days == 180
+        assert stats.over_60_fraction == pytest.approx(0.6, abs=0.05)
+
+    def test_named_endpoint_cves(self, db):
+        assert db.get("CVE-2017-12188").days_to_patch == 180
+        assert db.get("CVE-2013-0311").days_to_patch == 8
+        assert db.get("CVE-2016-6258").days_to_patch == 7
+
+    def test_windows_include_application_delay(self, db):
+        windows = windows_for(db, patch_application_days=14)
+        assert all(w.total_days == w.days_to_patch_release + 14
+                   for w in windows)
+
+    def test_transplant_collapses_window(self, db):
+        window = windows_for(db, patch_application_days=14)[0]
+        assert window.mitigated_days(transplant_hours=1.0) < 0.1
+        assert window.mitigated_days(1.0) < window.total_days
+
+    def test_negative_delay_rejected(self, db):
+        with pytest.raises(VulnDBError):
+            windows_for(db, patch_application_days=-1)
+
+
+class TestAdvisor:
+    def test_xen_flaw_recommends_kvm(self, db):
+        advisor = TransplantAdvisor(db)
+        advice = advisor.advise("CVE-2016-6258", "xen")
+        assert advice.transplant_needed
+        assert advice.recommended_target == "kvm"
+
+    def test_common_flaw_has_no_safe_target(self, db):
+        advisor = TransplantAdvisor(db)
+        advice = advisor.advise("CVE-2015-3456", "xen")
+        assert advice.recommended_target is None
+        with pytest.raises(NoSafeHypervisorError):
+            advisor.advise_or_raise("CVE-2015-3456", "xen")
+
+    def test_unaffected_hypervisor_needs_no_transplant(self, db):
+        advisor = TransplantAdvisor(db)
+        advice = advisor.advise("CVE-2016-6258", "kvm")
+        assert not advice.transplant_needed
+
+    def test_medium_flaw_waits_for_patch(self, db):
+        advisor = TransplantAdvisor(db)
+        advice = advisor.advise("CVE-2015-8104", "xen")
+        assert not advice.transplant_needed
+
+    def test_open_cves_block_candidates(self, db):
+        advisor = TransplantAdvisor(db)
+        kvm_critical = db.affecting("kvm", Severity.CRITICAL)[0]
+        advice = advisor.advise("CVE-2016-6258", "xen",
+                                open_cves=[kvm_critical.cve_id])
+        assert advice.recommended_target is None
+        assert "kvm" in advice.rejected
+
+    def test_never_recommends_vulnerable_target(self, db):
+        # Property 8 of DESIGN.md: the advisor's pick is always clean.
+        advisor = TransplantAdvisor(db)
+        for record in db.affecting("xen", Severity.CRITICAL)[:20]:
+            advice = advisor.advise(record.cve_id, "xen")
+            if advice.recommended_target is not None:
+                assert not record.affects(advice.recommended_target)
+
+    def test_transplants_per_year_stay_low(self, db):
+        # The feasibility argument: few critical flaws => few transplants.
+        advisor = TransplantAdvisor(db)
+        per_year = advisor.transplants_per_year("kvm")
+        assert sum(per_year.values()) == 13
+        assert max(per_year.values()) <= 3
+
+    def test_empty_pool_rejected(self, db):
+        with pytest.raises(VulnDBError):
+            TransplantAdvisor(db, hypervisor_pool=())

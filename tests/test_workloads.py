@@ -1,0 +1,211 @@
+"""Tests for the workload models and timeline builders (§5.3)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.hw.machine import M1_SPEC
+from repro.hypervisors.base import HypervisorKind
+from repro.sim.clock import SimClock
+from repro.core.transplant import HyperTP
+from repro.workloads.base import HostTimeline, MetricSeries
+from repro.workloads.darknet import DarknetWorkload
+from repro.workloads.generator import timeline_for_inplace, timeline_for_migration
+from repro.workloads.mysql import MySQLWorkload
+from repro.workloads.redis import RedisWorkload
+from repro.workloads.speccpu import (
+    SPEC_BASELINES,
+    SpecCPUWorkload,
+    spec_degradation,
+)
+
+XEN = HypervisorKind.XEN
+KVM = HypervisorKind.KVM
+
+
+def simple_timeline(pause=(50.0, 52.0), switch_at=52.0):
+    return HostTimeline(
+        switches=[(0.0, XEN), (switch_at, KVM)],
+        paused=[pause],
+    )
+
+
+class TestTimelineMechanics:
+    def test_hypervisor_at(self):
+        timeline = simple_timeline()
+        assert timeline.hypervisor_at(10.0) is XEN
+        assert timeline.hypervisor_at(60.0) is KVM
+
+    def test_empty_timeline_rejected(self):
+        with pytest.raises(ReproError):
+            HostTimeline().hypervisor_at(0.0)
+
+    def test_pause_detection(self):
+        timeline = simple_timeline()
+        assert timeline.is_paused(50.5)
+        assert not timeline.is_paused(49.9)
+        assert not timeline.is_paused(52.0)
+
+    def test_paused_seconds_in_window(self):
+        timeline = simple_timeline(pause=(10.0, 14.0))
+        assert timeline.paused_seconds_in(0.0, 12.0) == pytest.approx(2.0)
+        assert timeline.paused_seconds_in(0.0, 100.0) == pytest.approx(4.0)
+
+    def test_degradation_factor(self):
+        timeline = HostTimeline(switches=[(0.0, XEN)],
+                                degraded=[(10.0, 20.0, 0.5)])
+        assert timeline.degradation_factor(15.0) == 0.5
+        assert timeline.degradation_factor(25.0) == 1.0
+
+
+class TestMetricSeries:
+    def test_mean_between(self):
+        series = MetricSeries("m", "x")
+        for t in range(10):
+            series.append(float(t), float(t))
+        assert series.mean_between(0, 5) == pytest.approx(2.0)
+
+    def test_empty_mean_raises(self):
+        with pytest.raises(ReproError):
+            MetricSeries("m", "x").mean()
+
+    def test_zero_span(self):
+        series = MetricSeries("m", "x")
+        for t, v in [(0, 5.0), (1, 0.0), (2, 0.0), (3, 5.0)]:
+            series.append(float(t), v)
+        assert series.zero_span() == (1.0, 2.0)
+        series2 = MetricSeries("m", "x")
+        series2.append(0.0, 1.0)
+        assert series2.zero_span() == (None, None)
+
+
+class TestRedis:
+    def test_kvm_37_percent_faster(self):
+        workload = RedisWorkload()
+        assert workload.baseline(KVM) / workload.baseline(XEN) == \
+            pytest.approx(1.37)
+
+    def test_service_stops_during_pause(self):
+        series = RedisWorkload(noise=0.0).run(100.0, simple_timeline())
+        assert series.values[51] == 0.0
+        assert series.values[10] > 0
+
+    def test_network_outage_stops_service(self):
+        timeline = HostTimeline(switches=[(0.0, XEN)],
+                                network_down=[(30.0, 40.0)])
+        series = RedisWorkload(noise=0.0).run(60.0, timeline)
+        assert series.values[35] == 0.0
+
+    def test_fig11_inplace_shape(self, xen_host_factory):
+        machine = xen_host_factory(vm_count=1, vcpus=2, memory_gib=8.0)
+        report = HyperTP().inplace(machine, KVM, SimClock())
+        timeline = timeline_for_inplace(report, 50.0, XEN, KVM)
+        series = RedisWorkload().run(200.0, timeline)
+        z0, z1 = series.zero_span()
+        # Paper: interruption of ~9 s starting near t=50.
+        assert z0 == pytest.approx(50.0, abs=2.0)
+        assert 6.0 <= (z1 - z0) <= 12.0
+        before = series.mean_between(0, 45)
+        after = series.mean_between(z1 + 5, 200)
+        assert after / before == pytest.approx(1.37, abs=0.08)
+
+
+class TestMySQL:
+    def test_fig12_migration_shape(self, xen_host_factory, kvm_host_factory,
+                                   fabric):
+        from repro.core.migration import MigrationTP
+
+        source = xen_host_factory(name="msrc", vcpus=2, memory_gib=8.0)
+        destination = kvm_host_factory(name="mdst")
+        fabric.connect(source, destination)
+        domain = next(iter(source.hypervisor.domains.values()))
+        report = MigrationTP(fabric, source, destination).migrate(
+            domain, dirty_rate_bytes_s=8 << 20,
+        )
+        timeline = timeline_for_migration(report, 46.0, XEN, KVM,
+                                          precopy_throughput_factor=0.32)
+        workload = MySQLWorkload(noise=0.0)
+        qps = workload.run(220.0, timeline)
+        latency = workload.run_latency(220.0, timeline)
+        # Paper: ~76 s of degradation with -68 % QPS and +252 % latency.
+        assert 60 <= report.precopy_s <= 95
+        mid = 46.0 + report.precopy_s / 2
+        assert qps.values[int(mid)] == pytest.approx(
+            workload.baseline(XEN) * 0.32, rel=0.05,
+        )
+        assert latency.values[int(mid)] == pytest.approx(
+            5.0 * 3.52, rel=0.05,
+        )
+        # Recovery after migration.
+        assert qps.values[-1] > workload.baseline(XEN) * 0.9
+
+    def test_latency_zero_when_unreachable(self):
+        workload = MySQLWorkload(noise=0.0)
+        assert workload.latency_ms(51.0, simple_timeline()) == 0.0
+
+
+class TestSpec:
+    def test_all_23_benchmarks_present(self):
+        assert len(SPEC_BASELINES) == 23
+
+    def test_degradation_formula(self):
+        workload = SpecCPUWorkload("deepsjeng")
+        measured = max(workload.kvm_s, workload.xen_s) * 1.05
+        assert workload.degradation(measured) == pytest.approx(
+            (measured - min(workload.kvm_s, workload.xen_s))
+            / min(workload.kvm_s, workload.xen_s),
+        )
+
+    def test_table5_inplace_range(self):
+        results = spec_degradation("inplace", downtime_s=1.8)
+        degs = [r.degradation for r in results.values()]
+        # Paper: 0.2 % .. 4.3 % with the max near 4.2 %.
+        assert max(degs) < 0.06
+        assert min(degs) >= 0.0
+        assert any(d > 0.02 for d in degs)
+
+    def test_table5_migration_range(self):
+        results = spec_degradation("migration", downtime_s=0.005,
+                                   degraded_span_s=75.0,
+                                   degraded_factor=0.93)
+        degs = [r.degradation for r in results.values()]
+        assert max(degs) < 0.07
+
+    def test_transplant_cost_invisible_for_long_jobs(self):
+        # §5.3: constant absolute overhead vanishes for hour-long runs.
+        short = SpecCPUWorkload("namd").run_with_transplant("x", 1.8)
+        assert short.degradation < 0.06
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(ReproError):
+            SpecCPUWorkload("doom3")
+
+
+class TestDarknet:
+    def test_baseline_iterations(self):
+        timeline = HostTimeline(switches=[(0.0, XEN)])
+        run = DarknetWorkload().train(10, timeline)
+        assert run.mean_s == pytest.approx(2.044, abs=0.03)
+
+    def test_inplace_hits_one_iteration(self):
+        # Table 6: one iteration absorbs the whole downtime (4.97 s).
+        timeline = HostTimeline(switches=[(0.0, XEN), (12.0, KVM)],
+                                paused=[(10.0, 12.9)])
+        run = DarknetWorkload().train(10, timeline)
+        assert run.longest_s == pytest.approx(2.044 + 2.9, abs=0.1)
+        others = [t for t in run.iteration_times if t != run.longest_s]
+        assert max(others) < 2.2
+
+    def test_migration_stretches_iterations_mildly(self):
+        # Table 6: MigrationTP's longest iteration ~2.24 s.
+        timeline = HostTimeline(switches=[(0.0, XEN), (80.0, KVM)],
+                                degraded=[(4.0, 80.0, 0.91)],
+                                paused=[(80.0, 80.005)])
+        run = DarknetWorkload().train(20, timeline)
+        assert run.longest_s == pytest.approx(2.25, abs=0.1)
+        assert run.longest_s < 2.5
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ReproError):
+            DarknetWorkload(iteration_s=0)
+        with pytest.raises(ReproError):
+            DarknetWorkload().train(0, HostTimeline(switches=[(0.0, XEN)]))

@@ -1,0 +1,171 @@
+"""Tests for Xen PV interfaces: event channels and grant tables."""
+
+import pytest
+
+from repro.errors import HypervisorError
+from repro.guest.vm import VMConfig
+from repro.hypervisors import XenHypervisor
+from repro.hypervisors.base import HypervisorKind
+from repro.hypervisors.xen.events import (
+    ChannelKind,
+    EventChannelTable,
+    GrantTable,
+)
+from repro.sim.clock import SimClock
+from repro.core.transplant import HyperTP
+
+GIB = 1024 ** 3
+
+
+class TestEventChannels:
+    def test_alloc_unbound(self):
+        table = EventChannelTable()
+        channel = table.alloc_unbound(1, remote_domid=0)
+        assert channel.kind is ChannelKind.UNBOUND
+        assert channel.port == 1
+        assert table.get(1, 1) is channel
+
+    def test_ports_are_per_domain(self):
+        table = EventChannelTable()
+        a = table.alloc_unbound(1, 0)
+        b = table.alloc_unbound(2, 0)
+        assert a.port == b.port == 1  # separate namespaces
+
+    def test_bind_interdomain_pairs_up(self):
+        table = EventChannelTable()
+        backend = table.alloc_unbound(0, remote_domid=5)
+        frontend = table.bind_interdomain(5, 0, backend.port)
+        assert frontend.kind is ChannelKind.INTERDOMAIN
+        assert backend.kind is ChannelKind.INTERDOMAIN
+        assert backend.remote_port == frontend.port
+
+    def test_bind_respects_reservation(self):
+        table = EventChannelTable()
+        backend = table.alloc_unbound(0, remote_domid=5)
+        with pytest.raises(HypervisorError, match="reserved"):
+            table.bind_interdomain(6, 0, backend.port)
+
+    def test_bind_requires_unbound(self):
+        table = EventChannelTable()
+        backend = table.alloc_unbound(0, remote_domid=5)
+        table.bind_interdomain(5, 0, backend.port)
+        with pytest.raises(HypervisorError, match="not unbound"):
+            table.bind_interdomain(5, 0, backend.port)
+
+    def test_send_sets_pending_on_peer(self):
+        table = EventChannelTable()
+        backend = table.alloc_unbound(0, remote_domid=5)
+        frontend = table.bind_interdomain(5, 0, backend.port)
+        table.send(5, frontend.port)
+        assert table.get(0, backend.port).pending
+
+    def test_masked_peer_not_raised(self):
+        table = EventChannelTable()
+        backend = table.alloc_unbound(0, remote_domid=5)
+        frontend = table.bind_interdomain(5, 0, backend.port)
+        backend.masked = True
+        table.send(5, frontend.port)
+        assert not backend.pending
+
+    def test_virq_unique_per_domain(self):
+        table = EventChannelTable()
+        table.bind_virq(1, 0)
+        with pytest.raises(HypervisorError, match="already bound"):
+            table.bind_virq(1, 0)
+        table.bind_virq(2, 0)  # different domain is fine
+
+    def test_close_unbinds_peer(self):
+        table = EventChannelTable()
+        backend = table.alloc_unbound(0, remote_domid=5)
+        frontend = table.bind_interdomain(5, 0, backend.port)
+        table.close(5, frontend.port)
+        assert table.get(0, backend.port).kind is ChannelKind.UNBOUND
+        with pytest.raises(HypervisorError):
+            table.get(5, frontend.port)
+
+    def test_close_domain_sweeps_everything(self):
+        table = EventChannelTable()
+        table.alloc_unbound(7, 0)
+        table.bind_virq(7, 0)
+        assert table.close_domain(7) == 2
+        assert table.channels_of(7) == []
+
+
+class TestGrantTable:
+    def test_grant_and_map(self):
+        table = GrantTable(domid=5)
+        entry = table.grant(gfn=10, granted_to=0)
+        mapped = table.map(entry.ref, mapper_domid=0)
+        assert mapped.in_use
+        table.unmap(entry.ref)
+        assert not entry.in_use
+
+    def test_map_checks_grantee(self):
+        table = GrantTable(domid=5)
+        entry = table.grant(gfn=10, granted_to=0)
+        with pytest.raises(HypervisorError, match="for domain"):
+            table.map(entry.ref, mapper_domid=3)
+
+    def test_revoke_requires_unmapped(self):
+        table = GrantTable(domid=5)
+        entry = table.grant(gfn=10, granted_to=0)
+        table.map(entry.ref, 0)
+        with pytest.raises(HypervisorError, match="still mapped"):
+            table.revoke(entry.ref)
+        table.unmap(entry.ref)
+        table.revoke(entry.ref)
+        assert len(table) == 0
+
+    def test_revoke_all_refuses_active(self):
+        table = GrantTable(domid=5)
+        entry = table.grant(gfn=10, granted_to=0)
+        table.map(entry.ref, 0)
+        with pytest.raises(HypervisorError):
+            table.revoke_all()
+        table.force_unmap_all()
+        assert table.revoke_all() == 1
+
+    def test_capacity_enforced(self):
+        table = GrantTable(domid=5, entries=2)
+        table.grant(1, 0)
+        table.grant(2, 0)
+        with pytest.raises(HypervisorError, match="full"):
+            table.grant(3, 0)
+
+
+class TestPVLifecycleOnXen:
+    def test_domain_gets_standard_plumbing(self, m1):
+        xen = XenHypervisor()
+        xen.boot(m1)
+        domain = xen.create_vm(VMConfig("g", vcpus=1, memory_bytes=GIB))
+        channels = xen.event_channels.channels_of(domain.domid)
+        assert len(channels) == 3  # xenstore + console + timer VIRQ
+        assert domain.domid in xen.grant_tables
+
+    def test_destroy_sweeps_pv_state(self, m1):
+        xen = XenHypervisor()
+        xen.boot(m1)
+        domain = xen.create_vm(VMConfig("g", vcpus=1, memory_bytes=GIB))
+        xen.destroy_domain(domain.domid)
+        assert xen.event_channels.channels_of(domain.domid) == []
+        assert domain.domid not in xen.grant_tables
+
+    def test_transplant_tears_down_pv_state(self, xen_host):
+        """Xen-only PV plumbing does not follow the VM to KVM — it is
+        VM_i State that is rebuilt as virtio on the other side."""
+        xen = xen_host.hypervisor
+        domain = next(iter(xen.domains.values()))
+        # A PV driver pair in flight: grants + a bound channel.
+        table = xen.grant_tables[domain.domid]
+        for gfn in range(8):
+            entry = table.grant(gfn, granted_to=0)
+            table.map(entry.ref, 0)
+        backend = xen.event_channels.alloc_unbound(0, domain.domid)
+        xen.event_channels.bind_interdomain(domain.domid, 0, backend.port)
+
+        HyperTP().inplace(xen_host, HypervisorKind.KVM, SimClock())
+
+        # The old Xen object is gone from the machine; its tables emptied.
+        assert xen.event_channels.channels_of(domain.domid) == []
+        assert domain.domid not in xen.grant_tables
+        assert xen_host.hypervisor.kind is HypervisorKind.KVM
