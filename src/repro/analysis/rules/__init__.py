@@ -1,0 +1,13 @@
+"""Built-in analysis rules.
+
+Importing this package registers every rule with the engine's registry.
+To add a rule: write a module here with a ``@register_rule`` class and
+import it below (see ``docs/static-analysis.md``).
+"""
+
+from repro.analysis.rules import (  # noqa: F401
+    codec_symmetry,
+    hygiene,
+    registry_complete,
+    uisr_coverage,
+)

@@ -1,0 +1,423 @@
+"""Codec symmetry: every byte written must be read back at the same width.
+
+For each ``encode_*``/``decode_*`` (and ``_pack_*``/``_unpack_*``) pair in
+the byte-format modules, this rule extracts the ordered stream of
+:class:`Packer` writes on one side and :class:`Unpacker` reads on the
+other, as a small shape language::
+
+    tok   one fixed-width operation (u8/u16/u32/u64/i64/u64_seq/raw)
+    rep   a loop or comprehension body, repeated 0..n times
+    alt   an if/else (or early-return) branch point
+
+and compares the two shapes structurally.  A ``u32`` written where a
+``u64`` is read, a missing field, or swapped order all surface as a shape
+mismatch — exactly the corruption class §3.1's lossless-translation claim
+rules out, caught before any bytes move.
+
+The extractor follows evaluation order (a call's arguments before the call
+itself, a loop's iterable before its body), inlines module-local helpers
+that receive the packer/unpacker as an argument, prunes branches that only
+raise, and hoists common alt prefixes/suffixes so equivalent control-flow
+phrasings compare equal.
+"""
+
+import ast
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.engine import Rule, register_rule
+from repro.analysis.findings import Finding
+from repro.analysis.project import Project, SourceModule, top_level_functions
+
+WIDTH_METHODS = frozenset(
+    {"u8", "u16", "u32", "u64", "i64", "u64_seq", "raw"}
+)
+_PACK_CLASS = "Packer"
+_UNPACK_CLASS = "Unpacker"
+
+#: modules this rule analyzes (fnmatch patterns over project-relative paths)
+SCOPE = ("hypervisors/*/formats.py", "core/uisr/codec.py")
+
+#: encode-prefix -> decode-prefix naming conventions that define a pair
+PAIR_PREFIXES = (
+    ("encode_", "decode_"),
+    ("_encode_", "_decode_"),
+    ("pack_", "unpack_"),
+    ("_pack_", "_unpack_"),
+)
+
+# Shape nodes are nested tuples: ("tok", name) | ("rep", body) |
+# ("alt", (branch, ...)) where body/branch are tuples of shape nodes.
+
+
+def _tok(name: str) -> Tuple[str, str]:
+    return ("tok", name)
+
+
+def _render(shape: Tuple) -> str:
+    parts = []
+    for node in shape:
+        kind = node[0]
+        if kind == "tok":
+            parts.append(node[1])
+        elif kind == "rep":
+            parts.append(f"rep[{_render(node[1])}]")
+        else:
+            branches = " | ".join(_render(branch) for branch in node[1])
+            parts.append("alt{" + branches + "}")
+    return " ".join(parts)
+
+
+def _normalize(items: List) -> Tuple:
+    """Flatten, drop empties, and hoist common alt prefixes/suffixes."""
+    out: List = []
+    for node in items:
+        kind = node[0]
+        if kind == "tok":
+            out.append(node)
+        elif kind == "rep":
+            body = _normalize(list(node[1]))
+            if body:
+                out.append(("rep", body))
+        else:  # alt
+            branches = []
+            for branch in node[1]:
+                normalized = _normalize(list(branch))
+                if normalized not in branches:
+                    branches.append(normalized)
+            if len(branches) == 1:
+                out.extend(branches[0])
+                continue
+            prefix = _common_prefix(branches)
+            out.extend(prefix)
+            branches = [branch[len(prefix):] for branch in branches]
+            suffix = _common_suffix(branches)
+            if suffix:
+                branches = [branch[:len(branch) - len(suffix)]
+                            for branch in branches]
+            branches = [branch for branch in branches]
+            if any(branches):
+                out.append(("alt", tuple(sorted(set(branches)))))
+            out.extend(suffix)
+    return tuple(out)
+
+
+def _common_prefix(branches: List[Tuple]) -> Tuple:
+    if not branches:
+        return ()
+    prefix = []
+    for position, node in enumerate(branches[0]):
+        if all(len(branch) > position and branch[position] == node
+               for branch in branches[1:]):
+            prefix.append(node)
+        else:
+            break
+    return tuple(prefix)
+
+
+def _common_suffix(branches: List[Tuple]) -> Tuple:
+    reversed_branches = [tuple(reversed(branch)) for branch in branches]
+    return tuple(reversed(_common_prefix(reversed_branches)))
+
+
+def _block_exit(stmts: List[ast.stmt]) -> Optional[str]:
+    """'raise'/'return' if the block unconditionally ends that way."""
+    if not stmts:
+        return None
+    last = stmts[-1]
+    if isinstance(last, ast.Raise):
+        return "raise"
+    if isinstance(last, ast.Return):
+        return "return"
+    return None
+
+
+class _StreamExtractor:
+    """Extracts the pack or unpack token shape of functions in one module."""
+
+    def __init__(self, module: SourceModule, role: str):
+        self.module = module
+        self.role = role  # "pack" | "unpack"
+        self.cls = _PACK_CLASS if role == "pack" else _UNPACK_CLASS
+        self.functions = top_level_functions(module.tree)
+        self._memo: Dict[str, Tuple] = {}
+        self._in_progress: set = set()
+        self._tracked: set = set()  # names tracked in the current function
+
+    def shape_of(self, name: str) -> Tuple:
+        if name in self._memo:
+            return self._memo[name]
+        if name in self._in_progress:  # recursion: treat as opaque
+            return ()
+        self._in_progress.add(name)
+        saved = self._tracked
+        try:
+            func = self.functions[name]
+            self._tracked = self._tracked_params(func)
+            self._collect_assignments(func)
+            body, _ = self._emit_block(func.body)
+            shape = _normalize(body)
+        finally:
+            self._tracked = saved
+            self._in_progress.discard(name)
+        self._memo[name] = shape
+        return shape
+
+    # -- tracking which names hold a Packer/Unpacker -------------------------
+
+    def _tracked_params(self, func: ast.FunctionDef) -> set:
+        tracked = set()
+        for arg in func.args.args + func.args.kwonlyargs:
+            annotation = arg.annotation
+            annotated = (isinstance(annotation, ast.Name)
+                         and annotation.id == self.cls)
+            if annotated or arg.arg in ("packer", "unpacker"):
+                tracked.add(arg.arg)
+        return tracked
+
+    def _collect_assignments(self, func: ast.FunctionDef) -> None:
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign) and self._is_ctor(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        self._tracked.add(target.id)
+
+    def _is_ctor(self, node: ast.expr) -> bool:
+        return (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == self.cls)
+
+    def _chain_is_tracked(self, node: ast.expr) -> bool:
+        """Is this expression a tracked packer/unpacker (possibly through a
+        method chain like ``Packer().u32(x).u64(y)``)?"""
+        if isinstance(node, ast.Name):
+            return node.id in self._tracked
+        if self._is_ctor(node):
+            return True
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)):
+            return self._chain_is_tracked(node.func.value)
+        return False
+
+    # -- statement-level emission --------------------------------------------
+
+    def _emit_block(self, stmts: List[ast.stmt]) -> Tuple[List, bool]:
+        """Returns (shape nodes, terminated-by-return)."""
+        out: List = []
+        for index, stmt in enumerate(stmts):
+            if isinstance(stmt, ast.If):
+                done = self._emit_if(stmt, stmts[index + 1:], out)
+                if done:
+                    return out, True
+                if _block_exit(stmt.body) == "return" and not stmt.orelse:
+                    # _emit_if consumed the rest of the block
+                    return out, False
+                continue
+            if isinstance(stmt, (ast.For, ast.AsyncFor)):
+                self._emit_expr(stmt.iter, out)
+                body, _ = self._emit_block(stmt.body)
+                out.append(("rep", _normalize(body)))
+            elif isinstance(stmt, ast.While):
+                test: List = []
+                self._emit_expr(stmt.test, test)
+                body, _ = self._emit_block(stmt.body)
+                out.append(("rep", _normalize(test + body)))
+            elif isinstance(stmt, ast.Try):
+                body, terminated = self._emit_block(stmt.body)
+                out.extend(body)
+                final, _ = self._emit_block(stmt.finalbody)
+                out.extend(final)
+                if terminated:
+                    return out, True
+            elif isinstance(stmt, ast.Return):
+                self._emit_expr(stmt.value, out)
+                return out, True
+            elif isinstance(stmt, ast.Raise):
+                return out, True
+            elif isinstance(stmt, (ast.Assign, ast.AugAssign)):
+                self._emit_expr(stmt.value, out)
+            elif isinstance(stmt, ast.AnnAssign):
+                self._emit_expr(stmt.value, out)
+            elif isinstance(stmt, ast.Expr):
+                self._emit_expr(stmt.value, out)
+            elif isinstance(stmt, ast.With):
+                for item in stmt.items:
+                    self._emit_expr(item.context_expr, out)
+                body, terminated = self._emit_block(stmt.body)
+                out.extend(body)
+                if terminated:
+                    return out, True
+            # Pass/Break/Continue/def/class: no stream contribution
+        return out, False
+
+    def _emit_if(self, stmt: ast.If, rest: List[ast.stmt],
+                 out: List) -> bool:
+        """Emit an if-statement; returns True if the whole block is done
+        (every path terminated)."""
+        self._emit_expr(stmt.test, out)
+        body_exit = _block_exit(stmt.body)
+        body, _ = self._emit_block(stmt.body)
+
+        if stmt.orelse:
+            else_exit = _block_exit(stmt.orelse)
+            orelse, _ = self._emit_block(stmt.orelse)
+            if body_exit == "raise":
+                out.extend(orelse)
+                return else_exit in ("raise", "return")
+            if else_exit == "raise":
+                out.extend(body)
+                return body_exit in ("raise", "return")
+            out.append(("alt", (_normalize(body), _normalize(orelse))))
+            return (body_exit in ("raise", "return")
+                    and else_exit in ("raise", "return"))
+
+        if body_exit == "raise":
+            return False  # guard clause: contributes nothing
+        if body_exit == "return":
+            # The statements after the if form the implicit else branch.
+            tail, _ = self._emit_block(rest)
+            out.append(("alt", (_normalize(body), _normalize(tail))))
+            return False
+        out.append(("alt", (_normalize(body), ())))
+        return False
+
+    # -- expression-level emission -------------------------------------------
+
+    def _emit_expr(self, node: Optional[ast.expr], out: List) -> None:
+        if node is None or isinstance(node, ast.Lambda):
+            return
+        if isinstance(node, ast.Call):
+            self._emit_call(node, out)
+        elif isinstance(node, (ast.ListComp, ast.SetComp,
+                               ast.GeneratorExp, ast.DictComp)):
+            self._emit_comprehension(node, out)
+        elif isinstance(node, ast.IfExp):
+            self._emit_expr(node.test, out)
+            body: List = []
+            self._emit_expr(node.body, body)
+            orelse: List = []
+            self._emit_expr(node.orelse, orelse)
+            out.append(("alt", (_normalize(body), _normalize(orelse))))
+        else:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    self._emit_expr(child, out)
+
+    def _emit_call(self, node: ast.Call, out: List) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            # Method call: receiver chain first, then arguments, then the
+            # operation itself (matches evaluation order for our codecs).
+            self._emit_expr(func.value, out)
+            for arg in node.args:
+                self._emit_expr(arg, out)
+            for keyword in node.keywords:
+                self._emit_expr(keyword.value, out)
+            if (func.attr in WIDTH_METHODS
+                    and self._chain_is_tracked(func.value)):
+                out.append(_tok(func.attr))
+            return
+        if isinstance(func, ast.Name):
+            passes_tracked = any(
+                isinstance(arg, ast.Name) and arg.id in self._tracked
+                for arg in node.args
+            )
+            for arg in node.args:
+                if not (isinstance(arg, ast.Name)
+                        and arg.id in self._tracked):
+                    self._emit_expr(arg, out)
+            for keyword in node.keywords:
+                self._emit_expr(keyword.value, out)
+            if passes_tracked and func.id in self.functions:
+                out.extend(self.shape_of(func.id))
+            return
+        self._emit_expr(func, out)
+        for arg in node.args:
+            self._emit_expr(arg, out)
+        for keyword in node.keywords:
+            self._emit_expr(keyword.value, out)
+
+    def _emit_comprehension(self, node: ast.expr, out: List) -> None:
+        generators = node.generators
+        self._emit_expr(generators[0].iter, out)
+        inner: List = []
+        for condition in generators[0].ifs:
+            self._emit_expr(condition, inner)
+        for generator in generators[1:]:
+            self._emit_expr(generator.iter, inner)
+            for condition in generator.ifs:
+                self._emit_expr(condition, inner)
+        if isinstance(node, ast.DictComp):
+            self._emit_expr(node.key, inner)
+            self._emit_expr(node.value, inner)
+        else:
+            self._emit_expr(node.elt, inner)
+        out.append(("rep", _normalize(inner)))
+
+
+def _pair_name(name: str) -> Optional[Tuple[str, str]]:
+    """(pair key, side) if the function name follows a codec convention."""
+    for encode_prefix, decode_prefix in PAIR_PREFIXES:
+        if name.startswith(encode_prefix):
+            return name[len(encode_prefix):], "pack"
+        if name.startswith(decode_prefix):
+            return name[len(decode_prefix):], "unpack"
+    return None
+
+
+@register_rule
+class CodecSymmetryRule(Rule):
+    name = "codec-symmetry"
+    description = (
+        "Packer writes in each encode_* must mirror the Unpacker reads in "
+        "its paired decode_* (same widths, same order)"
+    )
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for module in project.matching(*SCOPE):
+            yield from self._check_module(module)
+
+    def _check_module(self, module: SourceModule) -> Iterable[Finding]:
+        packer = _StreamExtractor(module, "pack")
+        unpacker = _StreamExtractor(module, "unpack")
+        pairs: Dict[str, Dict[str, ast.FunctionDef]] = {}
+        for name, func in top_level_functions(module.tree).items():
+            paired = _pair_name(name)
+            if paired is not None:
+                key, side = paired
+                pairs.setdefault(key, {})[side] = func
+
+        for key in sorted(pairs):
+            sides = pairs[key]
+            pack_fn = sides.get("pack")
+            unpack_fn = sides.get("unpack")
+            if pack_fn is not None and unpack_fn is None:
+                if packer.shape_of(pack_fn.name):
+                    yield self.finding(
+                        module.path, pack_fn.lineno,
+                        f"encoder {pack_fn.name!r} has no matching decoder "
+                        f"— bytes written here are never read back",
+                        symbol=pack_fn.name,
+                    )
+                continue
+            if unpack_fn is not None and pack_fn is None:
+                if unpacker.shape_of(unpack_fn.name):
+                    yield self.finding(
+                        module.path, unpack_fn.lineno,
+                        f"decoder {unpack_fn.name!r} has no matching encoder "
+                        f"— it reads bytes nothing writes",
+                        symbol=unpack_fn.name,
+                    )
+                continue
+            if pack_fn is None or unpack_fn is None:
+                continue
+            pack_shape = packer.shape_of(pack_fn.name)
+            unpack_shape = unpacker.shape_of(unpack_fn.name)
+            if pack_shape != unpack_shape:
+                yield self.finding(
+                    module.path, unpack_fn.lineno,
+                    f"codec pair {pack_fn.name!r} (line {pack_fn.lineno}) / "
+                    f"{unpack_fn.name!r} is asymmetric: "
+                    f"writes [{_render(pack_shape)}] but reads "
+                    f"[{_render(unpack_shape)}]",
+                    symbol=unpack_fn.name,
+                )

@@ -1,0 +1,95 @@
+"""Registry completeness: every HypervisorKind has a converter pair.
+
+The paper's repertoire model (§3.1) only works if each hypervisor in the
+pool can both export to and restore from UISR.  A ``HypervisorKind``
+member without a ``registry.register(HypervisorKind.X, to, from)`` call is
+a hypervisor that boots but cannot take part in a transplant — discovered
+today at lint time rather than mid-transplant via ``UISRError``.
+"""
+
+import ast
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from repro.analysis.engine import Rule, register_rule
+from repro.analysis.findings import Finding
+from repro.analysis.project import Project, top_level_classes
+
+KIND_CLASS = "HypervisorKind"
+REGISTER_METHOD = "register"
+
+
+def _enum_members(node: ast.ClassDef) -> Set[str]:
+    members = set()
+    for stmt in node.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id.isupper():
+                    members.add(target.id)
+    return members
+
+
+def _registered_kinds(tree: ast.Module) -> Tuple[Set[str], Optional[int]]:
+    """Kinds passed to ``.register(HypervisorKind.X, ...)`` calls, plus the
+    line of the first such call (anchor for findings)."""
+    kinds: Set[str] = set()
+    anchor: Optional[int] = None
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == REGISTER_METHOD
+                and node.args):
+            continue
+        first = node.args[0]
+        if (isinstance(first, ast.Attribute)
+                and isinstance(first.value, ast.Name)
+                and first.value.id == KIND_CLASS):
+            kinds.add(first.attr)
+            if anchor is None:
+                anchor = node.lineno
+    return kinds, anchor
+
+
+@register_rule
+class RegistryCompletenessRule(Rule):
+    name = "registry-completeness"
+    description = (
+        "every HypervisorKind member must have a converter pair registered "
+        "in the default ConverterRegistry"
+    )
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        kind_module = None
+        kind_class = None
+        for module in project.modules:
+            classes = top_level_classes(module.tree)
+            if KIND_CLASS in classes:
+                kind_module, kind_class = module, classes[KIND_CLASS]
+                break
+        if kind_class is None:
+            return
+        members = _enum_members(kind_class)
+
+        registrations: Dict[str, Tuple[str, int]] = {}
+        for module in project.modules:
+            kinds, anchor = _registered_kinds(module.tree)
+            for kind in kinds:
+                registrations.setdefault(kind, (module.path, anchor or 1))
+
+        if not registrations:
+            yield self.finding(
+                kind_module.path, kind_class.lineno,
+                f"no converter registrations found for any {KIND_CLASS} "
+                f"member; the default registry is empty",
+                symbol=KIND_CLASS,
+            )
+            return
+
+        anchor_path, anchor_line = sorted(registrations.values())[0]
+        for member in sorted(members - set(registrations)):
+            yield self.finding(
+                anchor_path, anchor_line,
+                f"{KIND_CLASS}.{member} has no registered to_uisr/from_uisr "
+                f"converter pair; transplants involving it will fail at "
+                f"runtime with UISRError",
+                symbol=member,
+            )

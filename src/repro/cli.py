@@ -10,6 +10,8 @@
 * ``hypertp vulns``    — print Table 1 from the embedded dataset.
 * ``hypertp cluster``  — run the Fig. 13 cluster-upgrade sweep.
 * ``hypertp tcb``      — print the §4.4 TCB accounting.
+* ``hypertp lint``     — run the static verification pass over the source
+  tree (UISR translation safety, codec symmetry, sim-layer hygiene).
 """
 
 import argparse
@@ -93,6 +95,19 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--vms-per-host", type=int, default=10)
 
     sub.add_parser("tcb", help="print the §4.4 TCB accounting")
+
+    lint = sub.add_parser("lint", help="run the static verification pass")
+    lint.add_argument("paths", nargs="*",
+                      help="package directories to analyze (default: the "
+                           "installed repro package)")
+    lint.add_argument("--strict", action="store_true",
+                      help="exit non-zero when any finding is reported")
+    lint.add_argument("--json", dest="as_json", action="store_true",
+                      help="emit findings as JSON instead of text")
+    lint.add_argument("--rule", action="append", metavar="NAME",
+                      help="run only this rule (repeatable)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="list the registered rules and exit")
     return parser
 
 
@@ -259,6 +274,57 @@ def cmd_tcb(_args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    import os
+
+    from repro.analysis import (
+        Project,
+        all_rules,
+        render_json,
+        render_text,
+        run_analysis,
+    )
+    from repro.analysis.engine import AnalysisError
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.name:24} {rule.description}")
+        return 0
+
+    if args.paths:
+        roots = args.paths
+        for root in roots:
+            if not os.path.isdir(root):
+                print(f"lint: {root!r} is not a directory", file=sys.stderr)
+                return 2
+    else:
+        import repro
+
+        roots = [os.path.dirname(os.path.abspath(repro.__file__))]
+
+    project = Project.from_directory(roots[0])
+    for root in roots[1:]:
+        extra = Project.from_directory(root)
+        project.modules.extend(extra.modules)
+    if not project.modules:
+        print(f"lint: no python files under {', '.join(roots)}",
+              file=sys.stderr)
+        return 2
+
+    try:
+        findings, suppressed = run_analysis(project, rule_names=args.rule)
+    except AnalysisError as error:
+        print(f"lint: {error}", file=sys.stderr)
+        return 2
+    if args.as_json:
+        print(render_json(findings, suppressed))
+    else:
+        print(render_text(findings, suppressed))
+    if findings and args.strict:
+        return 1
+    return 0
+
+
 _COMMANDS = {
     "inplace": cmd_inplace,
     "migrate": cmd_migrate,
@@ -266,6 +332,7 @@ _COMMANDS = {
     "vulns": cmd_vulns,
     "cluster": cmd_cluster,
     "tcb": cmd_tcb,
+    "lint": cmd_lint,
 }
 
 

@@ -12,6 +12,7 @@ from repro.hypervisors.base import Domain, HypervisorKind
 from repro.hypervisors.nova import formats
 from repro.hypervisors.nova.hypervisor import NOVAHypervisor
 from repro.core.convert.compat import apply_platform_fixups
+from repro.core.convert.verify import verify_restore_target
 from repro.core.convert.xen_to_uisr import _device_states, _memory_map_for
 from repro.core.uisr.format import (
     UISR_VERSION,
@@ -46,11 +47,14 @@ def from_uisr_nova(hypervisor: NOVAHypervisor, domain: Domain,
     """Restore a UISR document into a NOVA domain."""
     if hypervisor.kind is not HypervisorKind.NOVA:
         raise UISRError(f"from_uisr_nova called on {hypervisor.kind.value}")
-    if state.vcpu_count != domain.vm.config.vcpus:
-        raise UISRError(
-            f"UISR {state.vm_name}: vCPU count {state.vcpu_count} does not "
-            f"match domain ({domain.vm.config.vcpus})"
-        )
+    verify_restore_target(
+        domain,
+        vm_name=state.vm_name,
+        vcpu_count=state.vcpu_count,
+        memory_bytes=state.memory_bytes,
+        devices=state.devices,
+    )
+    domain.provenance = (state.source_hypervisor, state.version)
 
     if state.memory_map.by_reference:
         if pram_fs is None:

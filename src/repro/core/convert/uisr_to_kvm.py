@@ -18,6 +18,7 @@ from repro.hypervisors.base import Domain, HypervisorKind
 from repro.hypervisors.kvm import formats
 from repro.hypervisors.kvm.hypervisor import KVMHypervisor
 from repro.core.convert.compat import apply_platform_fixups
+from repro.core.convert.verify import verify_restore_target
 from repro.core.uisr.format import UISRVMState
 
 
@@ -26,11 +27,14 @@ def from_uisr_kvm(hypervisor: KVMHypervisor, domain: Domain,
     """Restore a UISR document into a KVM domain via kvmtool ioctls."""
     if hypervisor.kind is not HypervisorKind.KVM:
         raise UISRError(f"from_uisr_kvm called on {hypervisor.kind.value}")
-    if state.vcpu_count != domain.vm.config.vcpus:
-        raise UISRError(
-            f"UISR {state.vm_name}: vCPU count {state.vcpu_count} does not "
-            f"match domain ({domain.vm.config.vcpus})"
-        )
+    verify_restore_target(
+        domain,
+        vm_name=state.vm_name,
+        vcpu_count=state.vcpu_count,
+        memory_bytes=state.memory_bytes,
+        devices=state.devices,
+    )
+    domain.provenance = (state.source_hypervisor, state.version)
 
     vmm = hypervisor.vmm_for(domain.domid)
 

@@ -13,6 +13,7 @@ from repro.hypervisors.base import Domain, HypervisorKind
 from repro.hypervisors.xen import formats
 from repro.hypervisors.xen.hypervisor import XenHypervisor
 from repro.core.convert.compat import apply_platform_fixups
+from repro.core.convert.verify import verify_restore_target
 from repro.core.uisr.format import UISRVMState
 
 
@@ -21,11 +22,14 @@ def from_uisr_xen(hypervisor: XenHypervisor, domain: Domain,
     """Restore a UISR document into a Xen domain via the toolstack."""
     if hypervisor.kind is not HypervisorKind.XEN:
         raise UISRError(f"from_uisr_xen called on {hypervisor.kind.value}")
-    if state.vcpu_count != domain.vm.config.vcpus:
-        raise UISRError(
-            f"UISR {state.vm_name}: vCPU count {state.vcpu_count} does not "
-            f"match domain ({domain.vm.config.vcpus})"
-        )
+    verify_restore_target(
+        domain,
+        vm_name=state.vm_name,
+        vcpu_count=state.vcpu_count,
+        memory_bytes=state.memory_bytes,
+        devices=state.devices,
+    )
+    domain.provenance = (state.source_hypervisor, state.version)
 
     if state.memory_map.by_reference:
         if pram_fs is None:

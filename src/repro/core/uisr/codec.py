@@ -25,7 +25,6 @@ from repro.guest.devices import (
 from repro.guest.vcpu import SegmentDescriptor, VCPUState
 from repro.hypervisors.state import Packer, Unpacker
 from repro.core.uisr.format import (
-    UISR_VERSION,
     UISRDeviceState,
     UISRMemoryChunk,
     UISRMemoryMap,

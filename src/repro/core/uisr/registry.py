@@ -7,7 +7,7 @@ hypervisor to the repertoire is a matter of registering one converter pair —
 no other hypervisor needs to know about it.
 """
 
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 from repro.errors import UISRError
 from repro.hypervisors.base import HypervisorKind
@@ -50,7 +50,7 @@ class ConverterRegistry:
             ) from None
 
 
-_default: "ConverterRegistry" = None
+_default: Optional["ConverterRegistry"] = None
 
 
 def default_registry() -> ConverterRegistry:

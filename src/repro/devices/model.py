@@ -7,7 +7,7 @@ transplant.  The strategy strings here are also what lands in each device's
 """
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.errors import TransplantError
 from repro.guest.drivers import (
@@ -90,7 +90,7 @@ def plan_device_transplant(drivers: List[GuestDriver]) -> DeviceTransplantPlan:
 
 
 def restore_devices(drivers: List[GuestDriver],
-                    target_kind: str = None) -> float:
+                    target_kind: Optional[str] = None) -> float:
     """Resume/rescan all devices after the transplant; returns guest seconds.
 
     ``target_kind`` (a hypervisor kind value) switches rescanned network

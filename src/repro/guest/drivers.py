@@ -14,6 +14,7 @@ Guests are notified ahead of time, mirroring Azure's Scheduled Events API.
 """
 
 import enum
+from typing import Optional
 
 from repro.errors import TransplantError
 
@@ -104,7 +105,7 @@ class NetworkDriver(EmulatedDriver):
         self.tcp_connections_alive = True
         return self.unplug_cost_s
 
-    def rescan(self, flavor: str = None) -> float:
+    def rescan(self, flavor: Optional[str] = None) -> float:
         if self.state is not DriverState.UNPLUGGED:
             raise TransplantError(f"driver {self.name} not unplugged: {self.state}")
         self.state = DriverState.ACTIVE

@@ -11,8 +11,8 @@ adds to both Xen and KVM so that kexec does not scribble over guest RAM
 (§4.2.4).
 """
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Set
 
 from repro.errors import FrameAllocationError, HardwareError
 

@@ -14,7 +14,7 @@ core uses to decide what to translate, rebuild, or leave in place.
 import abc
 import enum
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.errors import HypervisorError
 from repro.guest.vm import VirtualMachine, VMConfig
@@ -76,6 +76,9 @@ class Domain:
         # Serialized platform state in the owner hypervisor's native format;
         # (re)built lazily by the toolstack.
         self.native_state_blob: Optional[bytes] = None
+        # (source hypervisor kind value, UISR version) when this domain was
+        # restored from a UISR document; None for domains created natively.
+        self.provenance: Optional[Tuple[str, int]] = None
 
     @property
     def name(self) -> str:

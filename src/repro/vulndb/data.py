@@ -14,7 +14,7 @@ derives is preserved.  Substitution documented in DESIGN.md §2.
 
 import itertools
 import random
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import VulnDBError
 from repro.vulndb.cve import CVERecord, Severity
@@ -99,13 +99,13 @@ class VulnerabilityDatabase:
             raise VulnDBError(f"unknown CVE {cve_id!r}") from None
 
     def affecting(self, hypervisor_kind: str,
-                  severity: Severity = None) -> List[CVERecord]:
+                  severity: Optional[Severity] = None) -> List[CVERecord]:
         result = [r for r in self._records if r.affects(hypervisor_kind)]
         if severity is not None:
             result = [r for r in result if r.severity is severity]
         return result
 
-    def common(self, severity: Severity = None) -> List[CVERecord]:
+    def common(self, severity: Optional[Severity] = None) -> List[CVERecord]:
         result = [r for r in self._records if r.is_common]
         if severity is not None:
             result = [r for r in result if r.severity is severity]

@@ -11,7 +11,7 @@ flaws that a transplant to some other repertoire member escapes.
 """
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Sequence
+from typing import Dict, FrozenSet, List, Optional, Sequence
 
 from repro.errors import VulnDBError
 from repro.vulndb.cve import Severity
@@ -91,7 +91,7 @@ class EscapeReport:
 
 
 def escape_report(db: VulnerabilityDatabase, current: str, target: str,
-                  severity: Severity = None) -> EscapeReport:
+                  severity: Optional[Severity] = None) -> EscapeReport:
     """Of ``current``'s recorded flaws, how many does moving to ``target``
     escape?  A flaw follows you only if it lives in a shared component *and*
     the record actually marks the target as affected."""
@@ -108,7 +108,7 @@ def escape_report(db: VulnerabilityDatabase, current: str, target: str,
 
 
 def per_interface_exposure(db: VulnerabilityDatabase, kind: str,
-                           severity: Severity = None) -> Dict[str, int]:
+                           severity: Optional[Severity] = None) -> Dict[str, int]:
     """Flaw counts per interface, restricted to the inventory."""
     names = {i.name for i in interfaces_of(kind)}
     counts = {name: 0 for name in sorted(names)}

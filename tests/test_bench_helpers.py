@@ -1,6 +1,5 @@
 """Tests for the bench harness helpers and report formatting."""
 
-import pytest
 
 from repro.bench.report import format_series, format_table, print_experiment
 from repro.bench.runner import (

@@ -10,7 +10,6 @@ from repro.guest.devices import (
     XEN_IOAPIC_PINS,
     make_default_platform,
 )
-from repro.hypervisors.base import HypervisorKind
 from repro.core.convert import (
     apply_platform_fixups,
     from_uisr_kvm,

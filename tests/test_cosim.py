@@ -7,7 +7,6 @@ from repro.hypervisors.base import HypervisorKind
 from repro.sim.clock import SimClock
 from repro.sim.engine import Engine
 from repro.core.inplace import InPlaceTP
-from repro.workloads.redis import KVM_QPS, XEN_QPS
 
 
 class TestAsProcess:

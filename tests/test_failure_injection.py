@@ -5,7 +5,7 @@ import pytest
 from repro.errors import TransplantError, MigrationError
 from repro.guest.drivers import NetworkDriver, PassthroughDriver
 from repro.guest.vm import VMState
-from repro.hw.machine import M1_SPEC, Machine, MachineSpec
+from repro.hw.machine import Machine, MachineSpec
 from repro.hypervisors import KVMHypervisor
 from repro.hypervisors.base import HypervisorKind
 from repro.sim.clock import SimClock

@@ -20,7 +20,7 @@ from repro.guest.drivers import (
 from repro.guest.image import GuestImage
 from repro.guest.vcpu import make_boot_vcpu
 from repro.guest.vm import VirtualMachine, VMConfig, VMState
-from repro.hw.memory import PAGE_2M, PAGE_4K, PhysicalMemory
+from repro.hw.memory import PAGE_2M, PhysicalMemory
 
 GIB = 1024 ** 3
 

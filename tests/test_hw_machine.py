@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import HardwareError
 from repro.hw.machine import CLUSTER_NODE_SPEC, M1_SPEC, M2_SPEC, Machine, MachineSpec
-from repro.hw.network import Fabric
 from repro.hw.nic import NIC
 
 

@@ -9,7 +9,6 @@ from repro.hypervisors.base import HypervisorKind
 from repro.sim.clock import SimClock
 from repro.core.inplace import InPlaceTP
 from repro.core.optimizations import OptimizationConfig
-from repro.core.transplant import HyperTP
 
 
 def run_inplace(machine, target=HypervisorKind.KVM, **kwargs):

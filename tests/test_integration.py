@@ -5,8 +5,6 @@ a CVE drops, the advisor picks a target, the orchestrator transplants the
 fleet, workloads observe the blip, and everything survives bit-identical.
 """
 
-import pytest
-
 from repro import (
     DatacenterAPI,
     HyperTP,
@@ -19,7 +17,6 @@ from repro import (
     NovaCompute,
     SimClock,
     TransplantAdvisor,
-    VMConfig,
     XenHypervisor,
     load_default_database,
 )

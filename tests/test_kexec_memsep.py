@@ -3,8 +3,7 @@
 import pytest
 
 from repro.errors import KexecError
-from repro.guest.vm import VMConfig
-from repro.hypervisors import KVMHypervisor, XenHypervisor
+from repro.hypervisors import KVMHypervisor
 from repro.hypervisors.base import HypervisorKind
 from repro.core.kexec import KexecImage, load_kexec_image, micro_reboot
 from repro.core.memsep import (

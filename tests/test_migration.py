@@ -4,10 +4,6 @@ import pytest
 
 from repro.errors import MigrationError
 from repro.guest.drivers import PassthroughDriver
-from repro.hw.machine import M1_SPEC, Machine
-from repro.hypervisors import XenHypervisor
-from repro.hypervisors.base import HypervisorKind
-from repro.sim.clock import SimClock
 from repro.core.migration import (
     LiveMigration,
     MigrationTP,

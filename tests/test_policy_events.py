@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import OrchestratorError
 from repro.guest.drivers import PassthroughDriver
-from repro.hw.machine import M1_SPEC, M2_SPEC
 from repro.hypervisors.base import HypervisorKind
 from repro.sim.clock import SimClock
 from repro.core.transplant import HyperTP

@@ -14,7 +14,7 @@ import random
 
 import pytest
 
-from repro.errors import ReproError, TransplantError
+from repro.errors import TransplantError
 from repro.guest.vm import VMConfig, VMState
 from repro.hw.machine import M1_SPEC, Machine
 from repro.hw.network import Fabric

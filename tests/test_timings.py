@@ -2,9 +2,8 @@
 
 import pytest
 
-from repro.errors import TransplantError
 from repro.hw.machine import M1_SPEC, M2_SPEC, Machine
-from repro.hw.memory import PAGE_2M, PAGE_4K
+from repro.hw.memory import PAGE_2M
 from repro.hypervisors.base import HypervisorKind
 from repro.core.timings import DEFAULT_COST_MODEL, CostModel
 

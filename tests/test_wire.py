@@ -5,8 +5,6 @@ import random
 import pytest
 
 from repro.errors import MigrationError, StateFormatError
-from repro.hw.machine import M1_SPEC
-from repro.hypervisors.base import HypervisorKind
 from repro.core import wire
 from repro.core.migration import LiveMigration, MigrationTP
 

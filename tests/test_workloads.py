@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import ReproError
-from repro.hw.machine import M1_SPEC
 from repro.hypervisors.base import HypervisorKind
 from repro.sim.clock import SimClock
 from repro.core.transplant import HyperTP
