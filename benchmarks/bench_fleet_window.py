@@ -1,0 +1,139 @@
+"""Fleet vulnerability window vs fleet size and failure rate.
+
+The paper measures the transplant itself (Figs. 6-13); this bench seeds the
+perf trajectory for the fleet control plane layered on top: how the
+disclosure->remediated window distribution (p50/p95/p99/max) scales from 10
+to 1000 hosts, and how injected per-phase failures (kexec hang, migration
+stall, UISR verify mismatch) stretch the tail.
+
+Emits ``BENCH_fleet_window.json`` next to this file (override with
+``--json PATH``); ``--smoke`` restricts to the 10-host column for CI.
+A wall-clock guard asserts the 1000-host run stays sub-superlinear — the
+simulator is O(n log n) in events, so 100x the hosts must cost far less
+than 10000x the wall time.
+"""
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.bench.report import format_table, print_experiment
+from repro.fleet import (
+    FailureInjector,
+    FleetConfig,
+    FleetController,
+    RetryPolicy,
+)
+
+FLEET_SIZES = [10, 100, 1000]
+SMOKE_SIZES = [10]
+FAIL_RATES = [0.0, 0.01, 0.05]
+SEED = 42
+
+DEFAULT_JSON_PATH = Path(__file__).resolve().parent / "BENCH_fleet_window.json"
+
+
+def measure(hosts, fail_rate, seed=SEED):
+    """One campaign; returns the metrics document plus wall-clock cost."""
+    config = FleetConfig(hosts=hosts, vms_per_host=10, inplace_fraction=0.8,
+                         group_size=max(2, hosts // 5), seed=seed,
+                         concurrency=8)
+    controller = FleetController(
+        config,
+        injector=FailureInjector(fail_rate, seed=seed),
+        retry=RetryPolicy(max_retries=3, backoff_base_s=5.0),
+    )
+    started = time.perf_counter()
+    metrics = controller.run()
+    wall_s = time.perf_counter() - started
+    return {
+        "hosts": hosts,
+        "fail_rate": fail_rate,
+        "seed": seed,
+        "wall_s": round(wall_s, 4),
+        "done_hosts": metrics.done_hosts,
+        "rolled_back_hosts": metrics.rolled_back_hosts,
+        "retries_total": metrics.retries_total,
+        "rollbacks_total": metrics.rollbacks_total,
+        "migrations_executed": metrics.migrations_executed,
+        "fleet_window_s": metrics.fleet_window_s,
+        "percentiles_s": metrics.window_percentiles_s,
+    }
+
+
+def run(smoke=False):
+    sizes = SMOKE_SIZES if smoke else FLEET_SIZES
+    return [measure(hosts, rate)
+            for hosts in sizes for rate in FAIL_RATES]
+
+
+def write_json(results, path=DEFAULT_JSON_PATH):
+    document = {
+        "format": "hypertp-bench-fleet-window",
+        "version": 1,
+        "seed": SEED,
+        "results": results,
+    }
+    Path(path).write_text(json.dumps(document, indent=2, sort_keys=True))
+    return path
+
+
+def to_rows(results):
+    rows = []
+    for entry in results:
+        pct = entry["percentiles_s"]
+        rows.append([
+            entry["hosts"],
+            f"{entry['fail_rate']:.0%}",
+            entry["done_hosts"],
+            entry["rolled_back_hosts"],
+            entry["retries_total"],
+            f"{pct['p50']:.1f}" if pct else "-",
+            f"{pct['p95']:.1f}" if pct else "-",
+            f"{pct['p99']:.1f}" if pct else "-",
+            f"{pct['max']:.1f}" if pct else "-",
+            f"{entry['wall_s']:.3f}",
+        ])
+    return rows
+
+
+HEADERS = ["hosts", "fail", "done", "rolled back", "retries",
+           "p50 (s)", "p95 (s)", "p99 (s)", "max (s)", "wall (s)"]
+
+
+def test_fleet_window_sweep(benchmark):
+    results = benchmark.pedantic(run, kwargs={"smoke": True},
+                                 rounds=1, iterations=1)
+    write_json(results)
+    print_experiment("fleet window", "percentiles vs size and failure rate",
+                     format_table(HEADERS, to_rows(results)))
+
+
+def test_wall_clock_guard():
+    """1000 hosts must not blow up superlinearly over 100 hosts."""
+    small = measure(100, 0.0)
+    large = measure(1000, 0.0)
+    assert large["done_hosts"] + large["rolled_back_hosts"] == 1000
+    # Generous absolute ceiling: the run takes well under a second today.
+    assert large["wall_s"] < 60.0
+    # 10x the hosts may cost ~10x wall plus constant overhead, never ~100x.
+    assert large["wall_s"] < 30 * max(small["wall_s"], 0.01)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="10-host column only (CI)")
+    parser.add_argument("--json", dest="json_path", metavar="PATH",
+                        default=str(DEFAULT_JSON_PATH))
+    args = parser.parse_args()
+    results = run(smoke=args.smoke)
+    path = write_json(results, args.json_path)
+    print_experiment("fleet window", "percentiles vs size and failure rate",
+                     format_table(HEADERS, to_rows(results)))
+    print(f"JSON written to {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -9,6 +9,8 @@ The public API re-exports the pieces a downstream user needs:
 * reason about vulnerabilities with :mod:`repro.vulndb`;
 * orchestrate fleets with :mod:`repro.orchestrator` and clusters with
   :mod:`repro.cluster`;
+* run fleet-scale emergency-response campaigns — and measure the fleet's
+  vulnerability window — with :mod:`repro.fleet`;
 * replay the paper's workloads with :mod:`repro.workloads`.
 
 Quickstart::
@@ -60,6 +62,13 @@ from repro.vulndb import (
 )
 from repro.orchestrator import NovaCompute, DatacenterAPI
 from repro.cluster import UpgradeCampaign
+from repro.fleet import (
+    FleetConfig,
+    FleetController,
+    FleetMetrics,
+    FailureInjector,
+    RetryPolicy,
+)
 
 __version__ = "1.0.0"
 
@@ -101,5 +110,10 @@ __all__ = [
     "NovaCompute",
     "DatacenterAPI",
     "UpgradeCampaign",
+    "FleetConfig",
+    "FleetController",
+    "FleetMetrics",
+    "FailureInjector",
+    "RetryPolicy",
     "__version__",
 ]

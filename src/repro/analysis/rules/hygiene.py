@@ -1,7 +1,8 @@
 """Sim-layer hygiene rules.
 
 ``sim-clock-hygiene``: the simulated layers (``sim/``, ``core/``,
-``hypervisors/``) must take all time from :class:`~repro.sim.clock.SimClock`.
+``hypervisors/``, ``fleet/``) must take all time from
+:class:`~repro.sim.clock.SimClock`.
 A stray ``time.time()`` or ``datetime.now()`` makes experiment results
 depend on the host's wall clock — irreproducible and wrong under the
 discrete-event engine.
@@ -21,7 +22,7 @@ from repro.analysis.findings import Finding
 from repro.analysis.project import Project, SourceModule, dotted_name
 
 #: layers that must run on simulated time (path prefixes)
-CLOCK_SCOPE = ("sim/", "core/", "hypervisors/")
+CLOCK_SCOPE = ("sim/", "core/", "hypervisors/", "fleet/")
 
 #: fully-qualified callables that read the wall clock or block on it
 WALL_CLOCK_CALLS = frozenset({
@@ -62,7 +63,7 @@ def _import_aliases(tree: ast.Module) -> Dict[str, str]:
 class SimClockHygieneRule(Rule):
     name = "sim-clock-hygiene"
     description = (
-        "sim/, core/ and hypervisors/ must use SimClock, never "
+        "sim/, core/, hypervisors/ and fleet/ must use SimClock, never "
         "time.time()/time.sleep()/datetime.now()"
     )
 

@@ -9,6 +9,8 @@
 * ``hypertp advise``   — ask the vulnerability advisor about a CVE.
 * ``hypertp vulns``    — print Table 1 from the embedded dataset.
 * ``hypertp cluster``  — run the Fig. 13 cluster-upgrade sweep.
+* ``hypertp fleet``    — run an emergency-response campaign end to end and
+  print the fleet-wide vulnerability-window percentiles.
 * ``hypertp tcb``      — print the §4.4 TCB accounting.
 * ``hypertp lint``     — run the static verification pass over the source
   tree (UISR translation safety, codec symmetry, sim-layer hygiene).
@@ -93,6 +95,30 @@ def build_parser() -> argparse.ArgumentParser:
                          help="comma-separated InPlaceTP shares")
     cluster.add_argument("--hosts", type=int, default=10)
     cluster.add_argument("--vms-per-host", type=int, default=10)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="run a disclosure-to-remediation emergency campaign",
+    )
+    fleet.add_argument("--hosts", type=int, default=10)
+    fleet.add_argument("--vms-per-host", type=int, default=10)
+    fleet.add_argument("--inplace-fraction", type=float, default=0.8)
+    fleet.add_argument("--group-size", type=int, default=2)
+    fleet.add_argument("--seed", type=int, default=42)
+    fleet.add_argument("--concurrency", type=int, default=8,
+                       help="max hosts in flight at once (0 = unbounded)")
+    fleet.add_argument("--sequential-groups", action="store_true",
+                       help="strict Fig. 13 wave semantics (no overlap)")
+    fleet.add_argument("--fail-rate", type=float, default=0.0,
+                       help="per-phase failure-injection probability")
+    fleet.add_argument("--max-retries", type=int, default=3)
+    fleet.add_argument("--cve", default="CVE-2016-6258",
+                       help="triggering CVE id")
+    fleet.add_argument("--current", type=_kind, default=HypervisorKind.XEN)
+    fleet.add_argument("--pool", default="xen,kvm",
+                       help="comma-separated hypervisor repertoire")
+    fleet.add_argument("--json", dest="json_path", metavar="FILE",
+                       help="also write the full metrics document as JSON")
 
     sub.add_parser("tcb", help="print the §4.4 TCB accounting")
 
@@ -259,6 +285,73 @@ def cmd_cluster(args) -> int:
     return 0
 
 
+def cmd_fleet(args) -> int:
+    from repro.errors import FleetError
+    from repro.fleet import (
+        FailureInjector,
+        FleetConfig,
+        FleetController,
+        RetryPolicy,
+    )
+
+    pool = tuple(p.strip() for p in args.pool.split(",") if p.strip())
+    try:
+        config = FleetConfig(
+            hosts=args.hosts,
+            vms_per_host=args.vms_per_host,
+            inplace_fraction=args.inplace_fraction,
+            group_size=args.group_size,
+            seed=args.seed,
+            concurrency=args.concurrency if args.concurrency > 0 else None,
+            sequential_groups=args.sequential_groups,
+            trigger_cve=args.cve,
+            current_hypervisor=args.current.value,
+            pool=pool,
+        )
+        controller = FleetController(
+            config,
+            injector=FailureInjector(args.fail_rate, seed=args.seed),
+            retry=RetryPolicy(max_retries=args.max_retries),
+        )
+        metrics = controller.run()
+    except FleetError as error:
+        print(f"fleet: {error}", file=sys.stderr)
+        return 2
+
+    record = controller.db.get(args.cve)
+    print(f"{args.cve} disclosed ({record.severity.value}, affects "
+          f"{sorted(record.affected)}): {record.description}")
+    print(f"Advisor: transplant {metrics.source_hypervisor} -> "
+          f"{metrics.target_hypervisor}")
+    print(f"Campaign: {metrics.hosts} hosts / {metrics.vms} VMs in "
+          f"{metrics.waves} waves, "
+          f"concurrency {args.concurrency if args.concurrency > 0 else 'unbounded'}"
+          f"{', sequential groups' if args.sequential_groups else ''}"
+          f"{f', fail rate {args.fail_rate:.0%}' if args.fail_rate else ''}")
+    print(f"  remediated : {metrics.done_hosts}/{metrics.hosts} hosts "
+          f"({metrics.rolled_back_hosts} rolled back)")
+    print(f"  migrations : {metrics.migrations_executed} executed, "
+          f"{metrics.migrations_skipped} skipped")
+    print(f"  robustness : {metrics.retries_total} retries, "
+          f"{metrics.rollbacks_total} rollbacks")
+    if metrics.window_percentiles_s:
+        print("  vulnerability window (disclosure -> host remediated):")
+        for key in ("p50", "p95", "p99", "max"):
+            seconds = metrics.window_percentiles_s[key]
+            print(f"    {key:>4}: {seconds:10.1f} s ({seconds / 60:6.1f} min)")
+    else:
+        print("  no host reached DONE — the fleet stays vulnerable")
+    if args.json_path:
+        with open(args.json_path, "w") as handle:
+            handle.write(metrics.to_json())
+        print(f"  metrics JSON written to {args.json_path}")
+    if not metrics.all_terminal:
+        print("ERROR: campaign left hosts in a non-terminal state",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_tcb(_args) -> int:
     from repro.core.tcb import HYPERTP_COMPONENTS, account
 
@@ -331,6 +424,7 @@ _COMMANDS = {
     "advise": cmd_advise,
     "vulns": cmd_vulns,
     "cluster": cmd_cluster,
+    "fleet": cmd_fleet,
     "tcb": cmd_tcb,
     "lint": cmd_lint,
 }

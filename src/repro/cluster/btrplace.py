@@ -33,9 +33,13 @@ class BtrPlacePlanner:
         self.cluster = cluster
         self.group_size = group_size
         self._rr_cursor = 0  # spread placement rotates over live nodes
+        # The node set is fixed for the life of a plan; sorting once keeps
+        # destination picks O(live) instead of O(n log n) per migration,
+        # which matters at fleet scale (thousands of hosts).
+        self._sorted_names = sorted(self.cluster.nodes)
 
     def _offline_groups(self) -> List[List[str]]:
-        names = sorted(self.cluster.nodes)
+        names = self._sorted_names
         return [names[i:i + self.group_size]
                 for i in range(0, len(names), self.group_size)]
 
@@ -85,8 +89,8 @@ class BtrPlacePlanner:
         not-yet-upgraded hosts too and may migrate again later — the reason
         the paper's 100-VM cluster needs 154 migrations at 0 % compatibility.
         """
-        live = [name for name in sorted(self.cluster.nodes)
-                if name not in offline_group]
+        offline = set(offline_group)
+        live = [name for name in self._sorted_names if name not in offline]
         if not live:
             raise PlanningError("no live nodes to receive evacuated VMs")
         for _ in range(len(live)):

@@ -8,6 +8,11 @@ Execution semantics follow the paper's setup:
   done (independent machines);
 * groups execute sequentially — that is what "sequentially putting each
   group offline" means.
+
+The per-action costs are exposed as module-level functions
+(:func:`migration_action_time_s`, :func:`inplace_action_time_s`) so other
+consumers — notably the :mod:`repro.fleet` control plane — time the exact
+same actions with the exact same model the Fig. 13 campaign uses.
 """
 
 from dataclasses import dataclass, field
@@ -20,6 +25,52 @@ from repro.sim.resources import effective_tcp_rate, gigabits
 from repro.core.timings import DEFAULT_COST_MODEL, CostModel
 from repro.core.migration import plan_precopy
 from repro.hypervisors.base import HypervisorKind
+
+
+def cluster_link_rate(node_spec: MachineSpec = CLUSTER_NODE_SPEC) -> float:
+    """Effective bytes/s of the shared migration fabric for ``node_spec``."""
+    return effective_tcp_rate(gigabits(node_spec.nic_gbps))
+
+
+def migration_action_time_s(action: MigrationAction, link_rate: float,
+                            cost: CostModel = DEFAULT_COST_MODEL,
+                            target_kind: HypervisorKind = HypervisorKind.KVM,
+                            ) -> float:
+    """Wall time of one evacuation migration over a ``link_rate`` fabric.
+
+    Pre-copy rounds follow the migration cost model; the stop-and-copy
+    downtime depends on the destination hypervisor's activation cost.
+    """
+    rounds = plan_precopy(
+        action.memory_bytes, link_rate,
+        action.workload.dirty_rate_bytes_s, cost,
+    )
+    precopy = cost.migration_setup_s + sum(r.duration_s for r in rounds)
+    residual = rounds[-1].dirty_after_bytes
+    downtime = (residual / link_rate
+                + cost.stopcopy_overhead_s(target_kind, 1))
+    return precopy + downtime
+
+
+def inplace_action_time_s(action: InPlaceAction, machine: Machine,
+                          cost: CostModel = DEFAULT_COST_MODEL,
+                          target_kind: HypervisorKind = HypervisorKind.KVM,
+                          ) -> float:
+    """InPlaceTP wall time for one host carrying ``action.vm_count`` VMs."""
+    entries_per_vm = (
+        cost.entries_for(
+            action.total_memory_bytes // max(1, action.vm_count), PAGE_2M,
+            huge_pages=True,
+        )
+        if action.vm_count else 0
+    )
+    entry_counts = [entries_per_vm] * action.vm_count
+    vm_shapes = [(1, entries_per_vm)] * action.vm_count
+    pram = cost.pram_phase_s(machine, entry_counts) if action.vm_count else 0.0
+    translation = cost.translate_phase_s(machine, vm_shapes)
+    reboot = cost.reboot_phase_s(machine, target_kind, sum(entry_counts))
+    restoration = cost.restore_phase_s(machine, vm_shapes)
+    return pram + translation + reboot + restoration
 
 
 @dataclass
@@ -49,42 +100,22 @@ class PlanExecutor:
         self.node_spec = node_spec
         self.cost = cost_model
         self.target_kind = target_kind
-        self._link_rate = effective_tcp_rate(gigabits(node_spec.nic_gbps))
+        self._link_rate = cluster_link_rate(node_spec)
         # A representative machine instance for host-side cost lookups.
         self._reference_machine = Machine(node_spec, name="cluster-reference")
 
     # -- per-action costs ----------------------------------------------------
 
     def migration_time_s(self, action: MigrationAction) -> float:
-        rounds = plan_precopy(
-            action.memory_bytes, self._link_rate,
-            action.workload.dirty_rate_bytes_s, self.cost,
+        return migration_action_time_s(
+            action, self._link_rate, self.cost, self.target_kind,
         )
-        precopy = self.cost.migration_setup_s + sum(r.duration_s for r in rounds)
-        residual = rounds[-1].dirty_after_bytes
-        downtime = (residual / self._link_rate
-                    + self.cost.stopcopy_overhead_s(self.target_kind, 1))
-        return precopy + downtime
 
     def upgrade_time_s(self, action: InPlaceAction) -> float:
         """InPlaceTP wall time for one host carrying ``vm_count`` VMs."""
-        machine = self._reference_machine
-        entries_per_vm = (
-            self.cost.entries_for(
-                action.total_memory_bytes // max(1, action.vm_count), PAGE_2M,
-                huge_pages=True,
-            )
-            if action.vm_count else 0
+        return inplace_action_time_s(
+            action, self._reference_machine, self.cost, self.target_kind,
         )
-        entry_counts = [entries_per_vm] * action.vm_count
-        vm_shapes = [(1, entries_per_vm)] * action.vm_count
-        pram = self.cost.pram_phase_s(machine, entry_counts) if action.vm_count else 0.0
-        translation = self.cost.translate_phase_s(machine, vm_shapes)
-        reboot = self.cost.reboot_phase_s(
-            machine, self.target_kind, sum(entry_counts)
-        )
-        restoration = self.cost.restore_phase_s(machine, vm_shapes)
-        return pram + translation + reboot + restoration
 
     # -- whole plan -----------------------------------------------------------
 

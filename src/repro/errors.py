@@ -61,6 +61,11 @@ class PlanningError(ClusterError):
     """Raised when the BtrPlace-style planner cannot produce a valid plan."""
 
 
+class FleetError(ReproError):
+    """Raised for fleet control-plane failures (illegal state transitions,
+    stuck campaigns, bad configuration)."""
+
+
 class OrchestratorError(ReproError):
     """Raised for Nova/libvirt orchestration-layer failures."""
 

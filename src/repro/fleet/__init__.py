@@ -1,0 +1,39 @@
+"""Fleet-scale emergency-response control plane.
+
+Closes the paper's loop — CVE disclosure to full fleet remediation — and
+measures the vulnerability window at datacenter scale:
+
+* :mod:`controller` — the event-driven campaign controller (waves, per-host
+  state machines, admission control, shared-fabric contention);
+* :mod:`state` — host lifecycle states, legal transitions, and the
+  fleet-wide transition trace;
+* :mod:`failures` — deterministic per-phase failure injection and the
+  bounded exponential-backoff retry policy;
+* :mod:`metrics` — per-host and fleet-wide window metrics with JSON export;
+* :mod:`simsync` — FIFO synchronization primitives over the sim engine.
+"""
+
+from repro.fleet.controller import FleetConfig, FleetController
+from repro.fleet.failures import FailureInjector, FailurePhase, RetryPolicy
+from repro.fleet.metrics import FleetMetrics, HostOutcome, percentile
+from repro.fleet.state import (
+    FleetTrace,
+    HostRecord,
+    HostState,
+    Transition,
+)
+
+__all__ = [
+    "FleetConfig",
+    "FleetController",
+    "FailureInjector",
+    "FailurePhase",
+    "RetryPolicy",
+    "FleetMetrics",
+    "HostOutcome",
+    "percentile",
+    "FleetTrace",
+    "HostRecord",
+    "HostState",
+    "Transition",
+]

@@ -1,0 +1,477 @@
+"""Event-driven emergency-response control plane.
+
+Closes the paper's loop end to end: a critical CVE lands in the
+:mod:`repro.vulndb` feed, the advisor picks the non-vulnerable target
+hypervisor, the BtrPlace-style planner shards the fleet into waves, and a
+per-host state machine drives every host ``PENDING -> EVACUATING ->
+TRANSPLANTING -> VERIFYING -> DONE`` on the discrete-event engine — with
+injectable per-phase failures, bounded exponential-backoff retries, and
+rollback to the source hypervisor on exhaustion.  The output is the fleet
+vulnerability window the paper's Fig. 13 argues about, measured rather
+than summed.
+
+Scalability notes: every host is one generator process; contended
+resources (the shared migration fabric, per-node capacity slots, per-VM
+move locks, the admission cap) are FIFO wait queues that wake exactly one
+waiter per release, so a campaign schedules O(events log events) with no
+per-host polling.  The degenerate configuration — no failures,
+``sequential_groups=True``, unbounded concurrency — reproduces the
+:class:`repro.cluster.upgrade.UpgradeCampaign` (Fig. 13) total because it
+times the identical plan with the identical per-action cost functions.
+"""
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Set, Tuple
+
+from repro.errors import FleetError
+from repro.cluster.btrplace import BtrPlacePlanner
+from repro.cluster.executor import (
+    cluster_link_rate,
+    inplace_action_time_s,
+    migration_action_time_s,
+)
+from repro.cluster.model import Cluster, build_paper_cluster
+from repro.cluster.plan import InPlaceAction, MigrationAction
+from repro.core.timings import DEFAULT_COST_MODEL, CostModel
+from repro.fleet.failures import FailureInjector, FailurePhase, RetryPolicy
+from repro.fleet.metrics import FleetMetrics, collect_metrics
+from repro.fleet.simsync import FifoSemaphore, FleetProcess, Gate, Latch
+from repro.fleet.state import FleetTrace, HostRecord, HostState
+from repro.hw.machine import CLUSTER_NODE_SPEC, Machine, MachineSpec
+from repro.hypervisors.base import HypervisorKind
+from repro.sim.clock import SimClock
+from repro.sim.engine import Engine
+from repro.vulndb.advisor import TransplantAdvisor
+from repro.vulndb.data import VulnerabilityDatabase, load_default_database
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Campaign shape and control-plane knobs."""
+
+    hosts: int = 10
+    vms_per_host: int = 10
+    inplace_fraction: float = 0.8
+    group_size: int = 2
+    seed: int = 42
+    #: max hosts simultaneously in flight (None = unbounded)
+    concurrency: Optional[int] = 8
+    #: strict Fig. 13 semantics: wave n+1 waits for wave n, and a wave's
+    #: micro-reboots wait for all of the wave's evacuations
+    sequential_groups: bool = False
+    #: parallel streams on the shared fabric (1 = paper's serialized model)
+    migration_streams: int = 1
+    stall_timeout_s: float = 60.0
+    kexec_watchdog_s: float = 30.0
+    verify_fixed_s: float = 0.01
+    verify_per_vm_s: float = 0.002
+    trigger_cve: str = "CVE-2016-6258"
+    current_hypervisor: str = "xen"
+    pool: Tuple[str, ...] = ("xen", "kvm")
+    disclosure_at_s: float = 0.0
+
+    def __post_init__(self):
+        if self.hosts < 1:
+            raise FleetError(f"need >= 1 host, got {self.hosts}")
+        if self.group_size < 1:
+            raise FleetError(f"group size must be >= 1, got {self.group_size}")
+        if self.concurrency is not None and self.concurrency < 1:
+            raise FleetError(
+                f"concurrency must be >= 1 or None, got {self.concurrency}"
+            )
+        if self.migration_streams < 1:
+            raise FleetError(
+                f"migration streams must be >= 1, got {self.migration_streams}"
+            )
+        for name in ("stall_timeout_s", "kexec_watchdog_s",
+                     "verify_fixed_s", "verify_per_vm_s", "disclosure_at_s"):
+            if getattr(self, name) < 0:
+                raise FleetError(f"{name} must be >= 0")
+
+
+@dataclass
+class _HostPlan:
+    """The planner's actions for one host, grouped for its state machine."""
+
+    name: str
+    wave: int
+    upgrade: InPlaceAction
+    # (action, position in the VM's whole-campaign migration chain)
+    evacuations: List[Tuple[MigrationAction, int]] = field(default_factory=list)
+    initial_vms: List[str] = field(default_factory=list)
+
+
+class _SlotLedger:
+    """Spare-capacity admission control: free VM slots per node.
+
+    A migration reserves a destination slot before touching the fabric and
+    frees a source slot once the VM has left; reservations wait FIFO per
+    node, so overlapping waves can never overcommit a host even though the
+    planner validated capacity only for sequential execution.
+    """
+
+    def __init__(self, engine: Engine, free: Dict[str, int]):
+        self._engine = engine
+        self._free = dict(free)
+        self._waiters: Dict[str, Deque[Gate]] = {
+            name: deque() for name in free
+        }
+
+    def reserve(self, node: str) -> Gate:
+        gate = Gate(self._engine)
+        if self._free[node] > 0:
+            self._free[node] -= 1
+            gate.fire()
+        else:
+            self._waiters[node].append(gate)
+        return gate
+
+    def release(self, node: str) -> None:
+        waiters = self._waiters[node]
+        if waiters:
+            waiters.popleft().fire()
+        else:
+            self._free[node] += 1
+
+
+class FleetController:
+    """Runs one disclosure-to-remediation campaign on the sim engine."""
+
+    def __init__(self, config: Optional[FleetConfig] = None,
+                 db: Optional[VulnerabilityDatabase] = None,
+                 injector: Optional[FailureInjector] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 node_spec: MachineSpec = CLUSTER_NODE_SPEC,
+                 cost_model: CostModel = DEFAULT_COST_MODEL):
+        self.config = config = config if config is not None else FleetConfig()
+        self.db = db if db is not None else load_default_database()
+        self.injector = injector if injector is not None else FailureInjector()
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.cost = cost_model
+        self.source_kind = HypervisorKind(config.current_hypervisor)
+        advisor = TransplantAdvisor(self.db, hypervisor_pool=list(config.pool))
+        self.advice = advisor.advise_or_raise(
+            config.trigger_cve, config.current_hypervisor,
+        )
+        if not self.advice.transplant_needed:
+            raise FleetError(
+                f"{config.trigger_cve} does not require a transplant off "
+                f"{config.current_hypervisor}"
+            )
+        self.target_kind = HypervisorKind(self.advice.recommended_target)
+        self._machine = Machine(node_spec, name="fleet-reference")
+        self._link_rate = cluster_link_rate(node_spec)
+        # Populated by run():
+        self.trace = FleetTrace()
+        self.records: Dict[str, HostRecord] = {}
+        self.placement: Dict[str, str] = {}
+        #: the hypervisor each host actually runs after the campaign — a
+        #: rolled-back host stays on the (vulnerable) source hypervisor
+        self.host_hypervisor: Dict[str, str] = {}
+
+    # -- campaign setup ------------------------------------------------------
+
+    def _build_host_plans(self, cluster: Cluster,
+                          initial_vms: Dict[str, List[str]],
+                          ) -> List[_HostPlan]:
+        planner = BtrPlacePlanner(cluster, group_size=self.config.group_size)
+        plan = planner.plan(apply=True)
+        self._waves = len(plan.groups)
+        chain_counts: Dict[str, int] = {}
+        host_plans: Dict[str, _HostPlan] = {}
+        for group in plan.groups:
+            for upgrade in group.upgrades:
+                host_plans[upgrade.node_name] = _HostPlan(
+                    name=upgrade.node_name,
+                    wave=group.group_index,
+                    upgrade=upgrade,
+                    initial_vms=list(initial_vms[upgrade.node_name]),
+                )
+            for action in group.migrations:
+                position = chain_counts.get(action.vm_name, 0)
+                chain_counts[action.vm_name] = position + 1
+                host_plans[action.source].evacuations.append((action, position))
+        self._chain_counts = chain_counts
+        return [host_plans[name] for name in sorted(host_plans)]
+
+    # -- campaign ------------------------------------------------------------
+
+    def run(self) -> FleetMetrics:
+        cfg = self.config
+        cluster = build_paper_cluster(
+            hosts=cfg.hosts, vms_per_host=cfg.vms_per_host,
+            inplace_fraction=cfg.inplace_fraction, seed=cfg.seed,
+        )
+        self._cluster = cluster
+        initial_vms = {name: list(node.vms)
+                       for name, node in cluster.nodes.items()}
+        initial_free = {name: node.free_slots
+                        for name, node in cluster.nodes.items()}
+        self.placement = {vm.name: vm.node for vm in cluster.vms.values()}
+        self.host_hypervisor = {name: self.source_kind.value
+                                for name in cluster.nodes}
+
+        host_plans = self._build_host_plans(cluster, initial_vms)
+
+        engine = Engine(SimClock(cfg.disclosure_at_s))
+        self._engine = engine
+        self.trace = FleetTrace()
+        self._ledger = _SlotLedger(engine, initial_free)
+        self._link = FifoSemaphore(engine, cfg.migration_streams)
+        self._admission = FifoSemaphore(engine, cfg.concurrency)
+        self._vm_locks: Dict[str, FifoSemaphore] = {
+            vm: FifoSemaphore(engine, 1) for vm in sorted(self._chain_counts)
+        }
+        self._vm_gates: Dict[str, List[Gate]] = {
+            vm: [Gate(engine) for _ in range(count)]
+            for vm, count in sorted(self._chain_counts.items())
+        }
+        self._aborted: Set[str] = set()
+        self._streams = {hp.name: self.injector.stream_for(hp.name)
+                         for hp in host_plans}
+        self._migrations_executed = 0
+
+        waves: Dict[int, List[_HostPlan]] = {}
+        for hp in host_plans:
+            waves.setdefault(hp.wave, []).append(hp)
+        self._wave_release = {w: Gate(engine) for w in waves}
+        self._wave_done = {w: Latch(engine, len(hps))
+                           for w, hps in waves.items()}
+        self._evac_latch = {w: Latch(engine, len(hps))
+                            for w, hps in waves.items()}
+        if cfg.sequential_groups:
+            ordered = sorted(waves)
+            self._wave_release[ordered[0]].fire()
+            for earlier, later in zip(ordered, ordered[1:]):
+                release = self._wave_release[later]
+                self._wave_done[earlier].subscribe(release.fire)
+        else:
+            for gate in self._wave_release.values():
+                gate.fire()
+
+        self.records = {}
+        processes = []
+        for hp in host_plans:
+            record = HostRecord(
+                name=hp.name, wave=hp.wave,
+                vm_count=len(hp.initial_vms),
+                planned_migrations=len(hp.evacuations),
+                disclosure_at_s=cfg.disclosure_at_s,
+            )
+            self.records[hp.name] = record
+            process = FleetProcess(
+                engine, self._host_process(record, hp), name=hp.name,
+            )
+            processes.append(process.start())
+        engine.run()
+
+        stuck = [p.name for p in processes if not p.done]
+        stuck += [r.name for r in self.records.values()
+                  if not r.state.terminal]
+        if stuck:
+            raise FleetError(f"campaign never terminated for: {sorted(set(stuck))}")
+        completed = max(
+            (t.time_s for t in self.trace.transitions if t.target.terminal),
+            default=cfg.disclosure_at_s,
+        )
+        return collect_metrics(
+            [self.records[name] for name in sorted(self.records)],
+            self.trace,
+            trigger_cve=cfg.trigger_cve,
+            source_hypervisor=self.source_kind.value,
+            target_hypervisor=self.target_kind.value,
+            waves=self._waves,
+            disclosure_at_s=cfg.disclosure_at_s,
+            completed_at_s=completed,
+            migrations_executed=self._migrations_executed,
+        )
+
+    # -- host state machine --------------------------------------------------
+
+    def _host_process(self, record: HostRecord, hp: _HostPlan):
+        cfg = self.config
+        yield self._wave_release[hp.wave]
+        yield self._admission.acquire()
+        ok = yield from self._evacuate(record, hp)
+        self._evac_latch[hp.wave].count_down()
+        if ok and cfg.sequential_groups:
+            # Fig. 13 semantics: the wave's micro-reboots start only once
+            # all of the wave's evacuations are done.
+            yield self._evac_latch[hp.wave]
+        if ok:
+            ok = yield from self._transplant(record, hp)
+        if ok:
+            ok = yield from self._verify(record, hp)
+        if ok:
+            record.transition(HostState.DONE, self._engine.now, self.trace)
+            self.host_hypervisor[hp.name] = self.target_kind.value
+        self._admission.release()
+        self._wave_done[hp.wave].count_down()
+
+    def _evacuate(self, record: HostRecord, hp: _HostPlan):
+        if not hp.evacuations:
+            return True  # PENDING -> TRANSPLANTING directly
+        record.transition(HostState.EVACUATING, self._engine.now, self.trace)
+        for index, (action, position) in enumerate(hp.evacuations):
+            gates = self._vm_gates[action.vm_name]
+            if position > 0:
+                yield gates[position - 1]
+            yield self._vm_locks[action.vm_name].acquire()
+            if action.vm_name in self._aborted:
+                record.skipped_migrations += 1
+                self._vm_locks[action.vm_name].release()
+                gates[position].fire()
+                continue
+            ok = yield from self._migrate_with_retry(record, action, position)
+            self._vm_locks[action.vm_name].release()
+            if not ok:
+                yield from self._roll_back(record, hp,
+                                           remaining=hp.evacuations[index + 1:])
+                return False
+        return True
+
+    def _migrate_with_retry(self, record: HostRecord,
+                            action: MigrationAction, position: int):
+        """One evacuation with bounded retry.  Caller holds the VM lock."""
+        cfg = self.config
+        stream = self._streams[record.name]
+        gates = self._vm_gates[action.vm_name]
+        attempt = 0
+        while True:
+            yield self._ledger.reserve(action.destination)
+            yield self._link.acquire()
+            if stream.strikes(FailurePhase.EVACUATION):
+                # The transfer stalls; the watchdog kills it after the
+                # timeout, the fabric and the reserved slot free up.
+                yield cfg.stall_timeout_s
+                self._link.release()
+                self._ledger.release(action.destination)
+                record.transition(
+                    HostState.FAILED, self._engine.now, self.trace,
+                    reason=f"{FailurePhase.EVACUATION.value}:{action.vm_name}",
+                )
+                if self.retry.exhausted(attempt):
+                    self._abort_vm(action.vm_name)
+                    gates[position].fire()
+                    return False
+                record.transition(HostState.RETRYING, self._engine.now,
+                                  self.trace)
+                record.retries += 1
+                yield self.retry.backoff_s(attempt)
+                attempt += 1
+                record.transition(HostState.EVACUATING, self._engine.now,
+                                  self.trace)
+                continue
+            yield migration_action_time_s(action, self._link_rate, self.cost,
+                                          self.target_kind)
+            self._link.release()
+            self._commit_move(action.vm_name, action.source,
+                              action.destination)
+            gates[position].fire()
+            return True
+
+    def _transplant(self, record: HostRecord, hp: _HostPlan):
+        cfg = self.config
+        stream = self._streams[record.name]
+        record.transition(HostState.TRANSPLANTING, self._engine.now,
+                          self.trace)
+        attempt = 0
+        while stream.strikes(FailurePhase.KEXEC):
+            yield cfg.kexec_watchdog_s  # hang; watchdog fires, host recovers
+            record.transition(HostState.FAILED, self._engine.now, self.trace,
+                              reason=FailurePhase.KEXEC.value)
+            if self.retry.exhausted(attempt):
+                yield from self._roll_back(record, hp, remaining=[])
+                return False
+            record.transition(HostState.RETRYING, self._engine.now,
+                              self.trace)
+            record.retries += 1
+            yield self.retry.backoff_s(attempt)
+            attempt += 1
+            record.transition(HostState.TRANSPLANTING, self._engine.now,
+                              self.trace)
+        yield inplace_action_time_s(hp.upgrade, self._machine, self.cost,
+                                    self.target_kind)
+        return True
+
+    def _verify(self, record: HostRecord, hp: _HostPlan):
+        cfg = self.config
+        stream = self._streams[record.name]
+        record.transition(HostState.VERIFYING, self._engine.now, self.trace)
+        verify_s = cfg.verify_fixed_s + cfg.verify_per_vm_s * hp.upgrade.vm_count
+        attempt = 0
+        while True:
+            yield verify_s
+            if not stream.strikes(FailurePhase.VERIFY):
+                return True
+            record.transition(HostState.FAILED, self._engine.now, self.trace,
+                              reason=FailurePhase.VERIFY.value)
+            if self.retry.exhausted(attempt):
+                # The host came up wrong: micro-reboot back to the source
+                # hypervisor (ReHype-style recovery), then report rollback.
+                yield inplace_action_time_s(hp.upgrade, self._machine,
+                                            self.cost, self.source_kind)
+                yield from self._roll_back(record, hp, remaining=[])
+                return False
+            record.transition(HostState.RETRYING, self._engine.now,
+                              self.trace)
+            record.retries += 1
+            yield self.retry.backoff_s(attempt)
+            attempt += 1
+            # Backoff covers re-translating the UISR; then verify again.
+            record.transition(HostState.VERIFYING, self._engine.now,
+                              self.trace)
+
+    # -- rollback ------------------------------------------------------------
+
+    def _roll_back(self, record: HostRecord, hp: _HostPlan, remaining):
+        """Return the host to its pre-campaign state after retry exhaustion.
+
+        Unexecuted evacuations are skipped (their VMs never left), every VM
+        originally on the host is pulled back to it, and the host stays on
+        the source hypervisor.  The host's VMs therefore remain exposed —
+        which is exactly what the fleet window metric must report.
+        """
+        for action, position in remaining:
+            record.skipped_migrations += 1
+            self._abort_vm(action.vm_name)
+            self._vm_gates[action.vm_name][position].fire()
+        # Stop any future planned move of this host's original VMs: the
+        # plan assumed they would sit wherever the campaign left them.
+        for vm in hp.initial_vms:
+            self._abort_vm(vm)
+        for vm in hp.initial_vms:
+            if self.placement[vm] == hp.name:
+                continue
+            # Serializes after any in-flight onward move of the same VM.
+            yield self._vm_locks[vm].acquire()
+            source = self.placement[vm]
+            if source != hp.name:
+                cluster_vm = self._cluster.vms[vm]
+                back = MigrationAction(
+                    vm_name=vm, source=source, destination=hp.name,
+                    memory_bytes=cluster_vm.memory_bytes,
+                    workload=cluster_vm.workload,
+                )
+                yield self._ledger.reserve(hp.name)
+                yield self._link.acquire()
+                yield migration_action_time_s(back, self._link_rate,
+                                              self.cost, self.source_kind)
+                self._link.release()
+                self._commit_move(vm, source, hp.name)
+            self._vm_locks[vm].release()
+        record.rollbacks += 1
+        record.transition(HostState.ROLLED_BACK, self._engine.now, self.trace,
+                          reason="retries-exhausted")
+
+    # -- shared bookkeeping ---------------------------------------------------
+
+    def _abort_vm(self, vm: str) -> None:
+        if vm in self._chain_counts:
+            self._aborted.add(vm)
+
+    def _commit_move(self, vm: str, source: str, destination: str) -> None:
+        self.placement[vm] = destination
+        self._ledger.release(source)
+        self._migrations_executed += 1

@@ -1,0 +1,179 @@
+"""Fleet-scale vulnerability-window metrics.
+
+The paper's headline claim (§1, Fig. 13) is about the *vulnerability
+window*: disclosure of a critical CVE until the fleet no longer runs the
+vulnerable hypervisor.  This module aggregates per-host windows into the
+fleet view — percentiles, the hosts-remediated-over-time curve, retry and
+rollback counts — and serializes it to a deterministic JSON document
+(same seed and config produce byte-identical output).
+"""
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import FleetError
+from repro.fleet.state import FleetTrace, HostRecord, HostState
+
+METRICS_FORMAT = "hypertp-fleet-metrics"
+METRICS_VERSION = 1
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile over ``values`` (``q`` in [0, 100])."""
+    if not values:
+        raise FleetError("cannot take a percentile of no values")
+    if not 0.0 <= q <= 100.0:
+        raise FleetError(f"percentile out of range: {q}")
+    ordered = sorted(values)
+    if q == 0.0:
+        return ordered[0]
+    rank = max(1, -(-len(ordered) * q // 100))  # ceil without float drift
+    return ordered[int(rank) - 1]
+
+
+@dataclass
+class HostOutcome:
+    """Terminal result of one host."""
+
+    name: str
+    state: str
+    wave: int
+    vm_count: int
+    planned_migrations: int
+    window_s: Optional[float]
+    retries: int
+    rollbacks: int
+    skipped_migrations: int
+    failure_reasons: List[str] = field(default_factory=list)
+
+    @classmethod
+    def from_record(cls, record: HostRecord) -> "HostOutcome":
+        return cls(
+            name=record.name,
+            state=record.state.value,
+            wave=record.wave,
+            vm_count=record.vm_count,
+            planned_migrations=record.planned_migrations,
+            window_s=record.window_s,
+            retries=record.retries,
+            rollbacks=record.rollbacks,
+            skipped_migrations=record.skipped_migrations,
+            failure_reasons=list(record.failure_reasons),
+        )
+
+
+@dataclass
+class FleetMetrics:
+    """The measured outcome of one emergency campaign."""
+
+    trigger_cve: str
+    source_hypervisor: str
+    target_hypervisor: str
+    hosts: int
+    vms: int
+    waves: int
+    disclosure_at_s: float
+    completed_at_s: float
+    per_host: List[HostOutcome]
+    remediation_curve: List[List[float]]
+    window_percentiles_s: Dict[str, float]
+    fleet_window_s: Optional[float]
+    done_hosts: int
+    rolled_back_hosts: int
+    retries_total: int
+    rollbacks_total: int
+    migrations_executed: int
+    migrations_skipped: int
+
+    @property
+    def all_terminal(self) -> bool:
+        """Liveness: every host reached DONE or ROLLED_BACK."""
+        terminal = {HostState.DONE.value, HostState.ROLLED_BACK.value}
+        return all(h.state in terminal for h in self.per_host)
+
+    def to_dict(self) -> Dict:
+        return {
+            "format": METRICS_FORMAT,
+            "version": METRICS_VERSION,
+            "campaign": {
+                "trigger_cve": self.trigger_cve,
+                "source_hypervisor": self.source_hypervisor,
+                "target_hypervisor": self.target_hypervisor,
+                "hosts": self.hosts,
+                "vms": self.vms,
+                "waves": self.waves,
+                "disclosure_at_s": self.disclosure_at_s,
+                "completed_at_s": self.completed_at_s,
+            },
+            "window": {
+                "fleet_window_s": self.fleet_window_s,
+                "percentiles_s": dict(sorted(
+                    self.window_percentiles_s.items()
+                )),
+                "remediation_curve": self.remediation_curve,
+            },
+            "robustness": {
+                "done_hosts": self.done_hosts,
+                "rolled_back_hosts": self.rolled_back_hosts,
+                "retries_total": self.retries_total,
+                "rollbacks_total": self.rollbacks_total,
+                "migrations_executed": self.migrations_executed,
+                "migrations_skipped": self.migrations_skipped,
+            },
+            "per_host": [
+                {
+                    "name": h.name,
+                    "state": h.state,
+                    "wave": h.wave,
+                    "vm_count": h.vm_count,
+                    "planned_migrations": h.planned_migrations,
+                    "window_s": h.window_s,
+                    "retries": h.retries,
+                    "rollbacks": h.rollbacks,
+                    "skipped_migrations": h.skipped_migrations,
+                    "failure_reasons": h.failure_reasons,
+                }
+                for h in sorted(self.per_host, key=lambda h: h.name)
+            ],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+
+def collect_metrics(records: Sequence[HostRecord], trace: FleetTrace, *,
+                    trigger_cve: str, source_hypervisor: str,
+                    target_hypervisor: str, waves: int,
+                    disclosure_at_s: float, completed_at_s: float,
+                    migrations_executed: int) -> FleetMetrics:
+    """Aggregate host records and the transition trace into fleet metrics."""
+    outcomes = [HostOutcome.from_record(r) for r in records]
+    windows = [h.window_s for h in outcomes if h.window_s is not None]
+    percentiles = {
+        key: percentile(windows, q)
+        for key, q in (("p50", 50.0), ("p95", 95.0), ("p99", 99.0),
+                       ("max", 100.0))
+    } if windows else {}
+    return FleetMetrics(
+        trigger_cve=trigger_cve,
+        source_hypervisor=source_hypervisor,
+        target_hypervisor=target_hypervisor,
+        hosts=len(outcomes),
+        vms=sum(h.vm_count for h in outcomes),
+        waves=waves,
+        disclosure_at_s=disclosure_at_s,
+        completed_at_s=completed_at_s,
+        per_host=outcomes,
+        remediation_curve=trace.remediation_curve(),
+        window_percentiles_s=percentiles,
+        fleet_window_s=max(windows) if windows else None,
+        done_hosts=sum(1 for h in outcomes
+                       if h.state == HostState.DONE.value),
+        rolled_back_hosts=sum(1 for h in outcomes
+                              if h.state == HostState.ROLLED_BACK.value),
+        retries_total=sum(h.retries for h in outcomes),
+        rollbacks_total=sum(h.rollbacks for h in outcomes),
+        migrations_executed=migrations_executed,
+        migrations_skipped=sum(h.skipped_migrations for h in outcomes),
+    )

@@ -1,0 +1,153 @@
+"""Synchronization primitives for event-driven fleet processes.
+
+:class:`repro.sim.engine.Engine` processes can only ``yield`` sleep
+durations; a control plane also needs to *wait for conditions* — a wave
+being released, a migration slot freeing up, the shared fabric becoming
+idle.  This module adds waitables (:class:`Gate`, :class:`Latch`,
+:class:`FifoSemaphore`) and a :class:`FleetProcess` driver whose generators
+may yield either a float (sleep) or a waitable (park until signalled).
+
+Everything is built on ``engine.call_after`` — wake-ups are scheduled
+events, never polling loops, so a campaign over thousands of hosts stays
+O(events log events).  Waiters wake in strict FIFO order at the timestamp
+of the signal, which keeps runs deterministic.
+"""
+
+from typing import Callable, Deque, Generator, List, Optional
+from collections import deque
+
+from repro.errors import FleetError, SimulationError
+from repro.sim.engine import Engine
+
+
+class Waitable:
+    """Base class: something a :class:`FleetProcess` can yield on."""
+
+    def subscribe(self, fn: Callable[[], None]) -> None:
+        raise NotImplementedError
+
+
+class Gate(Waitable):
+    """A one-shot event: waiters park until :meth:`fire` is called."""
+
+    def __init__(self, engine: Engine):
+        self._engine = engine
+        self._fired = False
+        self._waiters: List[Callable[[], None]] = []
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    def fire(self) -> None:
+        if self._fired:
+            return
+        self._fired = True
+        waiters, self._waiters = self._waiters, []
+        for fn in waiters:
+            self._engine.call_after(0.0, fn)
+
+    def subscribe(self, fn: Callable[[], None]) -> None:
+        if self._fired:
+            self._engine.call_after(0.0, fn)
+        else:
+            self._waiters.append(fn)
+
+
+class Latch(Waitable):
+    """A countdown barrier: fires its gate when ``count`` reaches zero."""
+
+    def __init__(self, engine: Engine, count: int):
+        if count < 0:
+            raise FleetError(f"latch count must be >= 0, got {count}")
+        self._gate = Gate(engine)
+        self._count = count
+        if count == 0:
+            self._gate.fire()
+
+    def count_down(self) -> None:
+        if self._gate.fired:
+            raise FleetError("latch already open")
+        self._count -= 1
+        if self._count == 0:
+            self._gate.fire()
+
+    def subscribe(self, fn: Callable[[], None]) -> None:
+        self._gate.subscribe(fn)
+
+
+class FifoSemaphore:
+    """A counting semaphore whose grants are strict FIFO.
+
+    ``acquire()`` returns a :class:`Gate` that fires when the permit is
+    granted; ``release()`` hands the permit to the longest waiter.  A
+    ``permits`` of ``None`` means unbounded (every acquire granted at once).
+    """
+
+    def __init__(self, engine: Engine, permits: Optional[int]):
+        if permits is not None and permits < 1:
+            raise FleetError(f"semaphore needs >= 1 permit, got {permits}")
+        self._engine = engine
+        self._free = permits
+        self._queue: Deque[Gate] = deque()
+
+    def acquire(self) -> Gate:
+        gate = Gate(self._engine)
+        if self._free is None:
+            gate.fire()
+        elif self._free > 0:
+            self._free -= 1
+            gate.fire()
+        else:
+            self._queue.append(gate)
+        return gate
+
+    def release(self) -> None:
+        if self._free is None:
+            return
+        if self._queue:
+            self._queue.popleft().fire()
+        else:
+            self._free += 1
+
+
+class FleetProcess:
+    """Drives a generator that yields floats (sleep) or waitables (park).
+
+    The fleet analogue of :class:`repro.sim.engine.Process`; the extra
+    yield type is what lets host state machines express admission control
+    and barriers without busy-waiting.
+    """
+
+    def __init__(self, engine: Engine, gen: Generator, name: str = ""):
+        self._engine = engine
+        self._gen = gen
+        self.name = name or repr(gen)
+        self.done = False
+        self.error: Optional[BaseException] = None
+
+    def start(self) -> "FleetProcess":
+        self._engine.call_after(0.0, self._step)
+        return self
+
+    def _step(self) -> None:
+        if self.done:
+            return
+        try:
+            item = next(self._gen)
+        except StopIteration:
+            self.done = True
+            return
+        except BaseException as exc:  # surfaced when the engine runs
+            self.done = True
+            self.error = exc
+            raise
+        if isinstance(item, Waitable):
+            item.subscribe(self._step)
+        elif isinstance(item, (int, float)) and item >= 0:
+            self._engine.call_after(float(item), self._step)
+        else:
+            raise SimulationError(
+                f"fleet process {self.name!r} yielded {item!r}; expected a "
+                f"non-negative delay or a Waitable"
+            )

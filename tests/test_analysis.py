@@ -345,6 +345,18 @@ class TestSimClockHygiene:
         findings, _ = analyze(sources, rules=["sim-clock-hygiene"])
         assert findings == []
 
+    def test_fleet_package_in_scope(self):
+        # The fleet control plane runs entirely on simulated time; a stray
+        # wall-clock read there corrupts the measured vulnerability window.
+        sources = {
+            "fleet/controller.py": "import time\n\n"
+                                   "def window():\n    return time.time()\n",
+        }
+        findings, _ = analyze(sources, rules=["sim-clock-hygiene"])
+        assert len(findings) == 1
+        assert findings[0].path == "fleet/controller.py"
+        assert findings[0].line == 4
+
 
 # -- exception-hygiene --------------------------------------------------------
 
@@ -412,6 +424,24 @@ class TestExceptionHygiene:
         }
         findings, _ = analyze(sources, rules=["exception-hygiene"])
         assert findings == []
+
+    def test_fleet_package_scanned(self):
+        # A swallowed Exception in the fleet controller would turn a failed
+        # remediation into a silently-vulnerable host.
+        sources = {
+            "fleet/controller.py": textwrap.dedent(
+                """
+                def drive():
+                    try:
+                        transplant()
+                    except Exception:
+                        pass
+                """
+            ),
+        }
+        findings, _ = analyze(sources, rules=["exception-hygiene"])
+        assert len(findings) == 1
+        assert findings[0].path == "fleet/controller.py"
 
 
 # -- suppression --------------------------------------------------------------

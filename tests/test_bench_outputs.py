@@ -121,6 +121,25 @@ class TestSurfaceBench:
             assert fraction > 90.0
 
 
+class TestFleetWindowBench:
+    def test_smoke_sweep_shape(self, tmp_path):
+        import json
+
+        bench = load_bench("bench_fleet_window")
+        results = bench.run(smoke=True)
+        assert [entry["hosts"] for entry in results] == [10, 10, 10]
+        assert [entry["fail_rate"] for entry in results] == [0.0, 0.01, 0.05]
+        for entry in results:
+            assert entry["done_hosts"] + entry["rolled_back_hosts"] == 10
+            if entry["percentiles_s"]:
+                pct = entry["percentiles_s"]
+                assert pct["p50"] <= pct["p95"] <= pct["p99"] <= pct["max"]
+        path = bench.write_json(results, tmp_path / "BENCH_fleet_window.json")
+        document = json.loads(Path(path).read_text())
+        assert document["format"] == "hypertp-bench-fleet-window"
+        assert len(document["results"]) == 3
+
+
 class TestAblationBench:
     def test_huge_pages_dominate(self):
         bench = load_bench("bench_ablation_optimizations")

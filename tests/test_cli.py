@@ -100,6 +100,42 @@ class TestReportingCommands:
         assert "8.5 KLOC" in out
 
 
+class TestFleetCommand:
+    def test_default_run(self, capsys):
+        assert main(["fleet", "--hosts", "4", "--vms-per-host", "4",
+                     "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "transplant xen -> kvm" in out
+        assert "remediated : 4/4 hosts" in out
+        assert "p50" in out and "p99" in out and "max" in out
+
+    def test_sequential_groups(self, capsys):
+        assert main(["fleet", "--hosts", "4", "--vms-per-host", "4",
+                     "--sequential-groups", "--concurrency", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "remediated : 4/4 hosts" in out
+
+    def test_fail_rate_still_terminates(self, capsys):
+        assert main(["fleet", "--hosts", "4", "--vms-per-host", "4",
+                     "--fail-rate", "0.3", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "rolled back" in out
+
+    def test_json_export(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "fleet.json"
+        assert main(["fleet", "--hosts", "4", "--vms-per-host", "4",
+                     "--json", str(path)]) == 0
+        document = json.loads(path.read_text())
+        assert document["format"] == "hypertp-fleet-metrics"
+        assert document["campaign"]["hosts"] == 4
+
+    def test_medium_cve_rejected(self, capsys):
+        assert main(["fleet", "--hosts", "4", "--vms-per-host", "4",
+                     "--cve", "CVE-2015-8104"]) == 2
+
+
 class TestTraceFlag:
     def test_trace_file_written(self, tmp_path, capsys):
         import json

@@ -61,11 +61,18 @@ class TestExamples:
         assert "mean=71d" in out
         assert "transplant to kvm: 17 times" in out
 
+    def test_fleet_emergency_response(self):
+        out = run_example("fleet_emergency_response.py")
+        assert "transplant xen -> kvm" in out
+        assert "remediated hosts         100           100" in out
+        assert "not the 7 days a patch would take" in out
+
     def test_every_example_is_tested(self):
         scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
         tested = {
             "quickstart.py", "emergency_cve_response.py",
             "cluster_rolling_upgrade.py", "workload_impact_study.py",
             "policy_driven_upgrade.py", "vulnerability_audit.py",
+            "fleet_emergency_response.py",
         }
         assert scripts == tested, f"untested examples: {scripts - tested}"

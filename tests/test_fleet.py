@@ -1,0 +1,384 @@
+"""Tests for the repro.fleet emergency-response control plane."""
+
+import json
+
+import pytest
+
+from repro.errors import FleetError
+from repro.cluster.executor import (
+    PlanExecutor,
+    inplace_action_time_s,
+    migration_action_time_s,
+)
+from repro.cluster.plan import InPlaceAction, MigrationAction
+from repro.cluster.model import WorkloadKind
+from repro.cluster.upgrade import UpgradeCampaign
+from repro.fleet import (
+    FailureInjector,
+    FailurePhase,
+    FleetConfig,
+    FleetController,
+    FleetTrace,
+    HostState,
+    RetryPolicy,
+    percentile,
+)
+from repro.fleet.simsync import FifoSemaphore, FleetProcess, Gate, Latch
+from repro.fleet.state import HostRecord, Transition
+from repro.sim.clock import SimClock
+from repro.sim.engine import Engine
+
+GIB = 1024 ** 3
+
+
+def run_campaign(fail_rate=0.0, retry=None, **overrides):
+    defaults = dict(hosts=6, vms_per_host=4, inplace_fraction=0.5,
+                    group_size=2, seed=11)
+    defaults.update(overrides)
+    config = FleetConfig(**defaults)
+    controller = FleetController(
+        config,
+        injector=FailureInjector(fail_rate, seed=config.seed),
+        retry=retry if retry is not None else RetryPolicy(),
+    )
+    return controller, controller.run()
+
+
+# -- executor refactor (satellite) -------------------------------------------
+
+class TestExecutorCostFunctions:
+    def test_executor_delegates_to_module_functions(self):
+        executor = PlanExecutor()
+        migration = MigrationAction(
+            vm_name="vm0", source="a", destination="b",
+            memory_bytes=4 * GIB, workload=WorkloadKind.STREAMING,
+        )
+        upgrade = InPlaceAction(node_name="a", vm_count=5,
+                                total_memory_bytes=20 * GIB)
+        assert executor.migration_time_s(migration) == migration_action_time_s(
+            migration, executor._link_rate, executor.cost,
+            executor.target_kind,
+        )
+        assert executor.upgrade_time_s(upgrade) == inplace_action_time_s(
+            upgrade, executor._reference_machine, executor.cost,
+            executor.target_kind,
+        )
+
+    def test_campaign_results_unchanged(self):
+        # Pinned against the seed's Fig. 13 behaviour: the refactor must not
+        # move a single migration or second.
+        campaign = UpgradeCampaign()
+        results = campaign.sweep([0.0, 0.8])
+        assert results[0].migration_count == 162
+        assert results[1].migration_count == 31
+        assert results[0].total_s == pytest.approx(748.99, abs=0.01)
+        assert results[1].total_s == pytest.approx(175.70, abs=0.01)
+        gains = UpgradeCampaign.time_gains(results)
+        assert gains[1] == pytest.approx(0.765, abs=0.005)
+
+
+# -- sync primitives ----------------------------------------------------------
+
+class TestSimSync:
+    def test_gate_parks_until_fired(self):
+        engine = Engine(SimClock())
+        gate = Gate(engine)
+        log = []
+
+        def waiter():
+            yield gate
+            log.append(engine.now)
+
+        FleetProcess(engine, waiter(), name="w").start()
+        engine.call_after(5.0, gate.fire)
+        engine.run()
+        assert log == [5.0]
+
+    def test_fifo_semaphore_orders_grants(self):
+        engine = Engine(SimClock())
+        sem = FifoSemaphore(engine, 1)
+        order = []
+
+        def worker(name):
+            yield sem.acquire()
+            order.append(name)
+            yield 1.0
+            sem.release()
+
+        for name in ("a", "b", "c"):
+            FleetProcess(engine, worker(name), name=name).start()
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_unbounded_semaphore_grants_all(self):
+        engine = Engine(SimClock())
+        sem = FifoSemaphore(engine, None)
+        done = []
+
+        def worker(i):
+            yield sem.acquire()
+            yield 1.0
+            done.append(i)
+
+        for i in range(5):
+            FleetProcess(engine, worker(i), name=str(i)).start()
+        engine.run()
+        assert len(done) == 5 and engine.now == 1.0
+
+    def test_latch_opens_at_zero(self):
+        engine = Engine(SimClock())
+        latch = Latch(engine, 2)
+        hits = []
+        latch.subscribe(lambda: hits.append(engine.now))
+        latch.count_down()
+        engine.run()
+        assert hits == []
+        latch.count_down()
+        engine.run()
+        assert hits == [0.0]
+
+
+# -- state machine ------------------------------------------------------------
+
+class TestHostStateMachine:
+    def test_illegal_transition_rejected(self):
+        trace = FleetTrace()
+        record = HostRecord(name="h", wave=0, vm_count=1,
+                            planned_migrations=0)
+        with pytest.raises(FleetError):
+            record.transition(HostState.DONE, 0.0, trace)
+
+    def test_terminal_states_are_final(self):
+        trace = FleetTrace()
+        record = HostRecord(name="h", wave=0, vm_count=1,
+                            planned_migrations=0)
+        record.transition(HostState.TRANSPLANTING, 1.0, trace)
+        record.transition(HostState.VERIFYING, 2.0, trace)
+        record.transition(HostState.DONE, 3.0, trace)
+        with pytest.raises(FleetError):
+            record.transition(HostState.VERIFYING, 4.0, trace)
+        assert record.window_s == 3.0
+
+    def test_trace_in_flight_counting(self):
+        trace = FleetTrace()
+        trace.append(Transition(0.0, "a", HostState.PENDING,
+                                HostState.EVACUATING))
+        trace.append(Transition(0.0, "b", HostState.PENDING,
+                                HostState.TRANSPLANTING))
+        trace.append(Transition(1.0, "a", HostState.EVACUATING,
+                                HostState.TRANSPLANTING))
+        trace.append(Transition(2.0, "a", HostState.TRANSPLANTING,
+                                HostState.VERIFYING))
+        trace.append(Transition(3.0, "a", HostState.VERIFYING,
+                                HostState.DONE))
+        trace.append(Transition(4.0, "b", HostState.TRANSPLANTING,
+                                HostState.VERIFYING))
+        trace.append(Transition(5.0, "b", HostState.VERIFYING,
+                                HostState.DONE))
+        assert trace.max_in_flight() == 2
+        assert trace.remediation_curve() == [[3.0, 1.0], [5.0, 2.0]]
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = [float(v) for v in range(1, 101)]
+        assert percentile(values, 50.0) == 50.0
+        assert percentile(values, 95.0) == 95.0
+        assert percentile(values, 99.0) == 99.0
+        assert percentile(values, 100.0) == 100.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(FleetError):
+            percentile([], 50.0)
+
+
+# -- campaign invariants -------------------------------------------------------
+
+class TestCampaignDeterminism:
+    def test_same_seed_byte_identical_metrics(self):
+        _, first = run_campaign(fail_rate=0.05, seed=13)
+        _, second = run_campaign(fail_rate=0.05, seed=13)
+        assert first.to_json() == second.to_json()
+
+    def test_different_seed_differs(self):
+        _, first = run_campaign(fail_rate=0.2, seed=13)
+        _, second = run_campaign(fail_rate=0.2, seed=14)
+        assert first.to_json() != second.to_json()
+
+
+class TestWindowInvariant:
+    def test_fleet_window_is_max_host_window(self):
+        _, metrics = run_campaign()
+        windows = [h.window_s for h in metrics.per_host
+                   if h.window_s is not None]
+        assert metrics.fleet_window_s == max(windows)
+        assert metrics.window_percentiles_s["max"] == max(windows)
+
+    def test_fleet_window_is_last_done_minus_disclosure(self):
+        controller, metrics = run_campaign()
+        last_done = max(t.time_s for t in controller.trace.transitions
+                        if t.target is HostState.DONE)
+        assert metrics.fleet_window_s == pytest.approx(
+            last_done - metrics.disclosure_at_s
+        )
+
+    def test_disclosure_offset_shifts_timeline_not_window(self):
+        _, base = run_campaign()
+        _, offset = run_campaign(disclosure_at_s=3600.0)
+        assert offset.fleet_window_s == pytest.approx(base.fleet_window_s)
+        assert offset.completed_at_s == pytest.approx(
+            base.completed_at_s + 3600.0
+        )
+
+
+class TestExecutorCompat:
+    def test_degenerate_config_matches_upgrade_campaign(self):
+        """No failures + sequential groups reproduces Fig. 13 within 1 %."""
+        for fraction in (0.0, 0.4, 0.8):
+            campaign = UpgradeCampaign(hosts=10, vms_per_host=10,
+                                       group_size=2, seed=42)
+            reference = campaign.run(fraction)
+            config = FleetConfig(
+                hosts=10, vms_per_host=10, inplace_fraction=fraction,
+                group_size=2, seed=42, sequential_groups=True,
+                concurrency=None,
+            )
+            metrics = FleetController(config).run()
+            assert metrics.done_hosts == 10
+            assert metrics.migrations_executed == reference.migration_count
+            assert metrics.fleet_window_s == pytest.approx(
+                reference.total_s, rel=0.01
+            )
+
+
+class TestFailureInjection:
+    def test_every_host_terminal_under_failures(self):
+        _, metrics = run_campaign(fail_rate=0.3, hosts=10,
+                                  retry=RetryPolicy(max_retries=2))
+        assert metrics.all_terminal
+        assert metrics.done_hosts + metrics.rolled_back_hosts == 10
+        assert metrics.retries_total > 0
+
+    def test_retries_eventually_succeed(self):
+        # With generous retry budget and a moderate rate, hosts get through.
+        _, metrics = run_campaign(fail_rate=0.2,
+                                  retry=RetryPolicy(max_retries=10,
+                                                    backoff_base_s=1.0))
+        assert metrics.done_hosts == 6
+        assert metrics.retries_total > 0
+
+    def test_fault_streams_do_not_depend_on_interleaving(self):
+        # The same host draws the same faults whatever the concurrency.
+        injector = FailureInjector(0.5, seed=99)
+        a = injector.stream_for("node03")
+        b = injector.stream_for("node03")
+        draws_a = [a.strikes(FailurePhase.KEXEC) for _ in range(32)]
+        draws_b = [b.strikes(FailurePhase.KEXEC) for _ in range(32)]
+        assert draws_a == draws_b
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(FleetError):
+            FailureInjector(1.5)
+
+
+class TestRollback:
+    def _forced(self, phase, **overrides):
+        defaults = dict(hosts=4, vms_per_host=4, inplace_fraction=0.5,
+                        group_size=2, seed=3)
+        defaults.update(overrides)
+        config = FleetConfig(**defaults)
+        controller = FleetController(
+            config,
+            injector=FailureInjector({phase: 1.0}, seed=config.seed),
+            retry=RetryPolicy(max_retries=1, backoff_base_s=1.0),
+        )
+        return controller, controller.run()
+
+    @pytest.mark.parametrize("phase", list(FailurePhase))
+    def test_rollback_restores_host(self, phase):
+        controller, metrics = self._forced(phase)
+        assert metrics.rolled_back_hosts == 4
+        assert metrics.all_terminal
+        for name, record in controller.records.items():
+            assert record.state is HostState.ROLLED_BACK
+            # Host still runs the vulnerable source hypervisor...
+            assert controller.host_hypervisor[name] == "xen"
+            # ...and carries exactly its original VMs.
+            hosted = {vm for vm, node in controller.placement.items()
+                      if node == name}
+            original = {vm.name for vm in controller._cluster.vms.values()}
+            assert hosted <= original
+        # Global accounting: every VM sits on exactly one node.
+        assert sorted(controller.placement) == sorted(
+            vm.name for vm in controller._cluster.vms.values()
+        )
+
+    def test_evacuation_rollback_returns_vms_home(self):
+        controller, _ = self._forced(FailurePhase.EVACUATION)
+        # Rollback restored the pre-campaign placement exactly: the seed
+        # cluster places VMs round-robin-free, i.e. contiguously by index
+        # (4 VMs per host here).
+        expected = {}
+        for index, vm in enumerate(sorted(controller.placement)):
+            expected[vm] = f"node{index // 4:02d}"
+        assert controller.placement == expected
+
+    def test_rollback_counts_reported(self):
+        _, metrics = self._forced(FailurePhase.VERIFY)
+        assert metrics.rollbacks_total == 4
+        assert metrics.done_hosts == 0
+        assert metrics.window_percentiles_s == {}
+        assert metrics.fleet_window_s is None
+
+
+class TestConcurrencyCap:
+    @pytest.mark.parametrize("cap", [1, 2, 4])
+    def test_cap_never_exceeded(self, cap):
+        controller, metrics = run_campaign(hosts=8, concurrency=cap)
+        assert metrics.done_hosts == 8
+        assert controller.trace.max_in_flight() <= cap
+
+    def test_cap_respected_under_failures(self):
+        controller, metrics = run_campaign(
+            hosts=8, concurrency=2, fail_rate=0.3,
+            retry=RetryPolicy(max_retries=2, backoff_base_s=1.0),
+        )
+        assert metrics.all_terminal
+        assert controller.trace.max_in_flight() <= 2
+
+    def test_wider_cap_is_no_slower(self):
+        _, narrow = run_campaign(hosts=8, concurrency=1)
+        _, wide = run_campaign(hosts=8, concurrency=8)
+        assert wide.fleet_window_s <= narrow.fleet_window_s
+
+
+class TestMetricsDocument:
+    def test_json_shape(self):
+        _, metrics = run_campaign(fail_rate=0.1)
+        document = json.loads(metrics.to_json())
+        assert document["format"] == "hypertp-fleet-metrics"
+        assert document["campaign"]["source_hypervisor"] == "xen"
+        assert document["campaign"]["target_hypervisor"] == "kvm"
+        assert set(document["window"]["percentiles_s"]) == {
+            "p50", "p95", "p99", "max",
+        }
+        assert len(document["per_host"]) == 6
+        states = {h["state"] for h in document["per_host"]}
+        assert states <= {"done", "rolled-back"}
+        curve = document["window"]["remediation_curve"]
+        assert curve[-1][1] == document["robustness"]["done_hosts"]
+        times = [point[0] for point in curve]
+        assert times == sorted(times)
+
+    def test_advisor_gates_the_campaign(self):
+        # A medium-severity CVE does not justify an emergency transplant.
+        with pytest.raises(FleetError):
+            FleetController(FleetConfig(trigger_cve="CVE-2015-8104"))
+
+    def test_config_validation(self):
+        with pytest.raises(FleetError):
+            FleetConfig(hosts=0)
+        with pytest.raises(FleetError):
+            FleetConfig(concurrency=0)
+        with pytest.raises(FleetError):
+            FleetConfig(migration_streams=0)
