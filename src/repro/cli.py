@@ -11,6 +11,8 @@
 * ``hypertp cluster``  — run the Fig. 13 cluster-upgrade sweep.
 * ``hypertp fleet``    — run an emergency-response campaign end to end and
   print the fleet-wide vulnerability-window percentiles.
+* ``hypertp trace``    — replay a seeded fleet campaign with tracing on and
+  emit the Perfetto/Chrome timeline (byte-identical per seed).
 * ``hypertp tcb``      — print the §4.4 TCB accounting.
 * ``hypertp lint``     — run the static verification pass over the source
   tree (UISR translation safety, codec symmetry, sim-layer hygiene).
@@ -119,6 +121,26 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated hypervisor repertoire")
     fleet.add_argument("--json", dest="json_path", metavar="FILE",
                        help="also write the full metrics document as JSON")
+
+    trace = sub.add_parser(
+        "trace",
+        help="replay a seeded fleet campaign and emit its Perfetto trace",
+    )
+    trace.add_argument("--hosts", type=int, default=10)
+    trace.add_argument("--vms-per-host", type=int, default=10)
+    trace.add_argument("--inplace-fraction", type=float, default=0.8)
+    trace.add_argument("--group-size", type=int, default=2)
+    trace.add_argument("--seed", type=int, default=42)
+    trace.add_argument("--concurrency", type=int, default=8,
+                       help="max hosts in flight at once (0 = unbounded)")
+    trace.add_argument("--sequential-groups", action="store_true")
+    trace.add_argument("--fail-rate", type=float, default=0.0,
+                       help="per-phase failure-injection probability")
+    trace.add_argument("--cve", default="CVE-2016-6258")
+    trace.add_argument("--out", metavar="FILE",
+                       help="write the trace JSON here instead of stdout")
+    trace.add_argument("--metrics", dest="metrics_path", metavar="FILE",
+                       help="also write the metrics-registry snapshot JSON")
 
     sub.add_parser("tcb", help="print the §4.4 TCB accounting")
 
@@ -352,6 +374,58 @@ def cmd_fleet(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    from repro.errors import FleetError
+    from repro.fleet import (
+        FailureInjector,
+        FleetConfig,
+        FleetController,
+        RetryPolicy,
+    )
+    from repro.obs import MetricsRegistry, Tracer
+
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    try:
+        config = FleetConfig(
+            hosts=args.hosts,
+            vms_per_host=args.vms_per_host,
+            inplace_fraction=args.inplace_fraction,
+            group_size=args.group_size,
+            seed=args.seed,
+            concurrency=args.concurrency if args.concurrency > 0 else None,
+            sequential_groups=args.sequential_groups,
+            trigger_cve=args.cve,
+        )
+        controller = FleetController(
+            config,
+            injector=FailureInjector(args.fail_rate, seed=args.seed),
+            retry=RetryPolicy(),
+            tracer=tracer,
+            registry=registry,
+        )
+        controller.run()
+    except FleetError as error:
+        print(f"trace: {error}", file=sys.stderr)
+        return 2
+
+    document = tracer.to_chrome_trace()
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(document)
+        print(f"trace written to {args.out} ({len(tracer.trace)} spans, "
+              f"{len(tracer.trace.tracks())} tracks) — open in "
+              f"chrome://tracing or ui.perfetto.dev", file=sys.stderr)
+    else:
+        print(document)
+    if args.metrics_path:
+        with open(args.metrics_path, "w") as handle:
+            handle.write(registry.to_json())
+        print(f"metrics snapshot written to {args.metrics_path}",
+              file=sys.stderr)
+    return 0
+
+
 def cmd_tcb(_args) -> int:
     from repro.core.tcb import HYPERTP_COMPONENTS, account
 
@@ -425,6 +499,7 @@ _COMMANDS = {
     "vulns": cmd_vulns,
     "cluster": cmd_cluster,
     "fleet": cmd_fleet,
+    "trace": cmd_trace,
     "tcb": cmd_tcb,
     "lint": cmd_lint,
 }

@@ -21,6 +21,7 @@ from typing import List, Tuple
 from repro.cluster.plan import InPlaceAction, MigrationAction, ReconfigurationPlan
 from repro.hw.machine import CLUSTER_NODE_SPEC, Machine, MachineSpec
 from repro.hw.memory import PAGE_2M
+from repro.obs import NULL_TRACER, Span
 from repro.sim.resources import effective_tcp_rate, gigabits
 from repro.core.timings import DEFAULT_COST_MODEL, CostModel
 from repro.core.migration import plan_precopy
@@ -96,10 +97,12 @@ class PlanExecutor:
 
     def __init__(self, node_spec: MachineSpec = CLUSTER_NODE_SPEC,
                  cost_model: CostModel = DEFAULT_COST_MODEL,
-                 target_kind: HypervisorKind = HypervisorKind.KVM):
+                 target_kind: HypervisorKind = HypervisorKind.KVM,
+                 tracer=NULL_TRACER):
         self.node_spec = node_spec
         self.cost = cost_model
         self.target_kind = target_kind
+        self.tracer = tracer
         self._link_rate = cluster_link_rate(node_spec)
         # A representative machine instance for host-side cost lookups.
         self._reference_machine = Machine(node_spec, name="cluster-reference")
@@ -124,16 +127,42 @@ class PlanExecutor:
         upgrade_s = 0.0
         per_group = []
         per_migration: List[Tuple[str, float]] = []
-        for group in plan.groups:
+        traced = self.tracer.enabled
+        now = 0.0
+        for index, group in enumerate(plan.groups):
+            group_start = now
             group_migration = 0.0
             for action in group.migrations:
                 t = self.migration_time_s(action)
                 per_migration.append((action.vm_name, t))
+                if traced:
+                    self.tracer.add(Span(
+                        f"evacuate {action.vm_name}", "migration",
+                        now, now + t, track="cluster/migrations",
+                        args={"vm": action.vm_name},
+                    ))
+                now += t
                 group_migration += t
             # Hosts in a group reboot in parallel.
             group_upgrade = max(
                 (self.upgrade_time_s(a) for a in group.upgrades), default=0.0
             )
+            if traced:
+                for action in group.upgrades:
+                    t = self.upgrade_time_s(action)
+                    self.tracer.add(Span(
+                        f"upgrade {action.node_name}", "upgrade",
+                        now, now + t, track="cluster/upgrades",
+                        args={"vm_count": action.vm_count},
+                    ))
+            now += group_upgrade
+            if traced:
+                self.tracer.add(Span(
+                    f"group {index}", "plan",
+                    group_start, now, track="cluster",
+                    args={"migrations": len(group.migrations),
+                          "upgrades": len(group.upgrades)},
+                ))
             migration_s += group_migration
             upgrade_s += group_upgrade
             per_group.append(group_migration + group_upgrade)

@@ -28,6 +28,7 @@ from repro.hw.machine import Machine
 from repro.hw.memory import PAGE_4K
 from repro.hypervisors import make_hypervisor
 from repro.hypervisors.base import Hypervisor, HypervisorKind
+from repro.obs import NULL_TRACER, Span
 from repro.sim.clock import SimClock
 from repro.core.kexec import load_kexec_image, micro_reboot
 from repro.core.optimizations import DEFAULT_OPTIMIZATIONS, OptimizationConfig
@@ -85,7 +86,8 @@ class InPlaceTP:
                  registry: Optional[ConverterRegistry] = None,
                  cost_model: CostModel = DEFAULT_COST_MODEL,
                  optimizations: OptimizationConfig = DEFAULT_OPTIMIZATIONS,
-                 failure_hook: Optional[Callable[[str], None]] = None):
+                 failure_hook: Optional[Callable[[str], None]] = None,
+                 tracer=NULL_TRACER):
         if machine.hypervisor is None:
             raise TransplantError(f"{machine.name} has no hypervisor to replace")
         if machine.hypervisor.kind is target_kind:
@@ -102,6 +104,8 @@ class InPlaceTP:
         # Test/chaos hook, invoked at each phase boundary with the phase
         # name; raising from it simulates a failure at that point.
         self.failure_hook = failure_hook
+        #: live span recording; NULL_TRACER costs nothing when untraced
+        self.tracer = tracer
         self.rolled_back = False
 
     def _checkpoint(self, phase: str) -> None:
@@ -143,6 +147,8 @@ class InPlaceTP:
             target=self.target_kind.value,
             vm_count=len(self.source.domains),
         )
+        self.tracer.bind_clock(now)
+        track = self.machine.name
         start = now()
 
         domains = sorted(self.source.domains.values(), key=lambda d: d.domid)
@@ -164,7 +170,8 @@ class InPlaceTP:
                 plan_device_transplant(d.vm.devices).prepare_seconds
                 for d in domains
             )
-            yield device_prepare_s
+            with self.tracer.span("Device prepare", "prepare", track=track):
+                yield device_prepare_s
             self._checkpoint("prepare")
 
             pram = PRAMFilesystem(self.machine.memory)
@@ -186,7 +193,8 @@ class InPlaceTP:
                 self.machine, entry_counts, parallel=self.opts.parallel
             )
             if self.opts.prepare_ahead:
-                yield report.pram_s  # guests still running
+                with self.tracer.span("PRAM", "prepare", track=track):
+                    yield report.pram_s  # guests still running
             self._checkpoint("pram")
 
             # ❷ pause all guests.
@@ -196,7 +204,8 @@ class InPlaceTP:
             paused = True
             if not self.opts.prepare_ahead:
                 # Ablation: PRAM work lands inside the downtime window.
-                yield report.pram_s
+                with self.tracer.span("PRAM", "downtime", track=track):
+                    yield report.pram_s
             self._checkpoint("pause")
 
             # ❸ translate VM_i State -> UISR, store encoded docs in RAM.
@@ -221,7 +230,8 @@ class InPlaceTP:
             report.translation_s = self.cost.translate_phase_s(
                 self.machine, vm_shapes, parallel=self.opts.parallel
             )
-            yield report.translation_s
+            with self.tracer.span("Translation", "downtime", track=track):
+                yield report.translation_s
             self._checkpoint("store-uisr")
         except Exception as exc:
             self._abort(now(), vms, pram, uisr_frames, paused)
@@ -237,7 +247,9 @@ class InPlaceTP:
             self.machine, self.target_kind, total_entries
         )
         micro_reboot(self.machine, target, pram_pointer)
-        yield report.reboot_s
+        with self.tracer.span("Reboot", "downtime", track=track,
+                              args={"target": report.target}):
+            yield report.reboot_s
         network_ready_at = now() + self.machine.nic.init_s
         report.network_s = self.machine.nic.init_s
         self._checkpoint("reboot")
@@ -253,7 +265,8 @@ class InPlaceTP:
             self.machine, vm_shapes, parallel=self.opts.parallel,
             early_restoration=self.opts.early_restoration,
         )
-        yield report.restoration_s
+        with self.tracer.span("Restoration", "downtime", track=track):
+            yield report.restoration_s
         self._checkpoint("restore")
 
         # ❼ resume guests, free ephemeral state, bring the link back up.
@@ -266,6 +279,20 @@ class InPlaceTP:
         pram.teardown()
         yield max(0.0, network_ready_at - now())
         self.machine.nic.bring_up()
+        if self.tracer.enabled:
+            # Closed intervals known only after the fact: the NIC re-init
+            # overlapped restoration, the guests-paused window spans the
+            # whole downtime.
+            self.tracer.add(Span(
+                "NIC re-init", "network",
+                network_ready_at - report.network_s, network_ready_at,
+                track=f"{track}/nic",
+            ))
+            self.tracer.add(Span(
+                "VMs paused", "guest", pause_time, resume_time,
+                track=f"{track}/guests",
+                args={"vm_count": report.vm_count},
+            ))
 
         report.downtime_s = (
             report.translation_s + report.reboot_s + report.restoration_s

@@ -14,6 +14,7 @@ from repro.errors import TransplantError
 from repro.hw.machine import Machine
 from repro.hw.network import Fabric
 from repro.hypervisors.base import HypervisorKind
+from repro.obs import NULL_TRACER
 from repro.sim.clock import SimClock
 from repro.core.inplace import InPlaceReport, InPlaceTP
 from repro.core.migration import MigrationReport, MigrationTP
@@ -54,10 +55,12 @@ class HyperTP:
 
     def __init__(self, registry: Optional[ConverterRegistry] = None,
                  cost_model: CostModel = DEFAULT_COST_MODEL,
-                 optimizations: OptimizationConfig = DEFAULT_OPTIMIZATIONS):
+                 optimizations: OptimizationConfig = DEFAULT_OPTIMIZATIONS,
+                 tracer=NULL_TRACER):
         self.registry = registry or default_registry()
         self.cost = cost_model
         self.opts = optimizations
+        self.tracer = tracer
 
     # -- the two mechanisms --------------------------------------------------
 
@@ -67,6 +70,7 @@ class HyperTP:
         transplant = InPlaceTP(
             machine, target_kind, registry=self.registry,
             cost_model=self.cost, optimizations=self.opts,
+            tracer=self.tracer,
         )
         return transplant.run(clock or SimClock())
 
@@ -76,7 +80,7 @@ class HyperTP:
         """MigrationTP: move one VM to a host running a different hypervisor."""
         migrator = MigrationTP(
             fabric, source, destination, registry=self.registry,
-            cost_model=self.cost,
+            cost_model=self.cost, tracer=self.tracer,
         )
         return migrator.migrate(domain, clock or SimClock(),
                                 dirty_rate_bytes_s=dirty_rate_bytes_s)
@@ -121,7 +125,8 @@ class HyperTP:
                 )
             migrator = MigrationTP(fabric, machine, spare,
                                    registry=self.registry,
-                                   cost_model=self.cost)
+                                   cost_model=self.cost,
+                                   tracer=self.tracer)
             for domain in incompatible:
                 report.migrated.append(migrator.migrate(domain, clock))
 

@@ -70,6 +70,10 @@ class OrchestratorError(ReproError):
     """Raised for Nova/libvirt orchestration-layer failures."""
 
 
+class ObservabilityError(ReproError):
+    """Raised for tracing/metrics misuse (unclosed spans, metric clashes)."""
+
+
 class VulnDBError(ReproError):
     """Raised for vulnerability-database failures (unknown CVE, bad score)."""
 

@@ -40,6 +40,7 @@ from repro.fleet.simsync import FifoSemaphore, FleetProcess, Gate, Latch
 from repro.fleet.state import FleetTrace, HostRecord, HostState
 from repro.hw.machine import CLUSTER_NODE_SPEC, Machine, MachineSpec
 from repro.hypervisors.base import HypervisorKind
+from repro.obs import NULL_TRACER, MetricsRegistry, trace_fleet
 from repro.sim.clock import SimClock
 from repro.sim.engine import Engine
 from repro.vulndb.advisor import TransplantAdvisor
@@ -143,12 +144,16 @@ class FleetController:
                  injector: Optional[FailureInjector] = None,
                  retry: Optional[RetryPolicy] = None,
                  node_spec: MachineSpec = CLUSTER_NODE_SPEC,
-                 cost_model: CostModel = DEFAULT_COST_MODEL):
+                 cost_model: CostModel = DEFAULT_COST_MODEL,
+                 tracer=NULL_TRACER,
+                 registry: Optional[MetricsRegistry] = None):
         self.config = config = config if config is not None else FleetConfig()
         self.db = db if db is not None else load_default_database()
         self.injector = injector if injector is not None else FailureInjector()
         self.retry = retry if retry is not None else RetryPolicy()
         self.cost = cost_model
+        self.tracer = tracer
+        self.registry = registry
         self.source_kind = HypervisorKind(config.current_hypervisor)
         advisor = TransplantAdvisor(self.db, hypervisor_pool=list(config.pool))
         self.advice = advisor.advise_or_raise(
@@ -216,6 +221,7 @@ class FleetController:
 
         engine = Engine(SimClock(cfg.disclosure_at_s))
         self._engine = engine
+        self.tracer.bind_clock(lambda: engine.now)
         self.trace = FleetTrace()
         self._ledger = _SlotLedger(engine, initial_free)
         self._link = FifoSemaphore(engine, cfg.migration_streams)
@@ -275,6 +281,16 @@ class FleetController:
             (t.time_s for t in self.trace.transitions if t.target.terminal),
             default=cfg.disclosure_at_s,
         )
+        if self.tracer.enabled:
+            # One campaign -> one trace: turn the (deterministic) transition
+            # log into per-host state spans nested under wave envelopes.
+            self.tracer.extend(trace_fleet(
+                self.trace.transitions,
+                host_waves={hp.name: hp.wave for hp in host_plans},
+                start_s=cfg.disclosure_at_s,
+                end_s=completed,
+                campaign=f"campaign {cfg.trigger_cve}",
+            ))
         return collect_metrics(
             [self.records[name] for name in sorted(self.records)],
             self.trace,
@@ -285,6 +301,7 @@ class FleetController:
             disclosure_at_s=cfg.disclosure_at_s,
             completed_at_s=completed,
             migrations_executed=self._migrations_executed,
+            registry=self.registry,
         )
 
     # -- host state machine --------------------------------------------------

@@ -9,14 +9,24 @@ rollback counts — and serializes it to a deterministic JSON document
 """
 
 import json
+import math
 from dataclasses import dataclass, field
+from fractions import Fraction
 from typing import Dict, List, Optional, Sequence
 
 from repro.errors import FleetError
 from repro.fleet.state import FleetTrace, HostRecord, HostState
+from repro.obs.metrics import MetricsRegistry
 
 METRICS_FORMAT = "hypertp-fleet-metrics"
 METRICS_VERSION = 1
+
+#: fixed bucket bounds (seconds) for per-host vulnerability windows — up to
+#: a day, roughly logarithmic, shared by every campaign so snapshots diff.
+WINDOW_BUCKETS = (
+    1.0, 5.0, 15.0, 30.0, 60.0, 120.0, 300.0, 600.0, 1200.0, 1800.0,
+    3600.0, 7200.0, 14400.0, 28800.0, 86400.0,
+)
 
 
 def percentile(values: Sequence[float], q: float) -> float:
@@ -28,8 +38,11 @@ def percentile(values: Sequence[float], q: float) -> float:
     ordered = sorted(values)
     if q == 0.0:
         return ordered[0]
-    rank = max(1, -(-len(ordered) * q // 100))  # ceil without float drift
-    return ordered[int(rank) - 1]
+    # Nearest rank = ceil(n * q / 100).  Fraction keeps the product exact
+    # (float multiplication can land an epsilon above an integer boundary
+    # and push ceil one rank too high).
+    rank = max(1, math.ceil(Fraction(len(ordered)) * Fraction(q) / 100))
+    return ordered[rank - 1]
 
 
 @dataclass
@@ -141,13 +154,61 @@ class FleetMetrics:
     def to_json(self) -> str:
         return json.dumps(self.to_dict(), indent=2, sort_keys=True)
 
+    def report_into(self, registry: MetricsRegistry) -> MetricsRegistry:
+        """Publish the campaign outcome into a metrics registry.
+
+        Counters for the totals, gauges for the fleet-level window, and a
+        fixed-bucket histogram of per-host windows (observed in sorted
+        host order, so the snapshot is deterministic).
+        """
+        registry.counter(
+            "fleet_hosts_done_total", "hosts remediated (DONE)",
+        ).inc(self.done_hosts)
+        registry.counter(
+            "fleet_hosts_rolled_back_total", "hosts rolled back",
+        ).inc(self.rolled_back_hosts)
+        registry.counter(
+            "fleet_retries_total", "phase retries across all hosts",
+        ).inc(self.retries_total)
+        registry.counter(
+            "fleet_rollbacks_total", "rollback procedures executed",
+        ).inc(self.rollbacks_total)
+        registry.counter(
+            "fleet_migrations_executed_total", "evacuations that ran",
+        ).inc(self.migrations_executed)
+        registry.counter(
+            "fleet_migrations_skipped_total", "evacuations skipped",
+        ).inc(self.migrations_skipped)
+        registry.gauge(
+            "fleet_window_seconds",
+            "disclosure -> last host remediated",
+        ).set(self.fleet_window_s if self.fleet_window_s is not None else 0.0)
+        registry.gauge(
+            "fleet_campaign_waves", "planner wave count",
+        ).set(self.waves)
+        histogram = registry.histogram(
+            "fleet_host_window_seconds",
+            "per-host disclosure -> remediated window",
+            buckets=WINDOW_BUCKETS,
+        )
+        for outcome in sorted(self.per_host, key=lambda h: h.name):
+            if outcome.window_s is not None:
+                histogram.observe(outcome.window_s)
+        return registry
+
 
 def collect_metrics(records: Sequence[HostRecord], trace: FleetTrace, *,
                     trigger_cve: str, source_hypervisor: str,
                     target_hypervisor: str, waves: int,
                     disclosure_at_s: float, completed_at_s: float,
-                    migrations_executed: int) -> FleetMetrics:
-    """Aggregate host records and the transition trace into fleet metrics."""
+                    migrations_executed: int,
+                    registry: Optional[MetricsRegistry] = None
+                    ) -> FleetMetrics:
+    """Aggregate host records and the transition trace into fleet metrics.
+
+    When a ``registry`` is given the aggregate is also published into it
+    (see :meth:`FleetMetrics.report_into`).
+    """
     outcomes = [HostOutcome.from_record(r) for r in records]
     windows = [h.window_s for h in outcomes if h.window_s is not None]
     percentiles = {
@@ -155,7 +216,7 @@ def collect_metrics(records: Sequence[HostRecord], trace: FleetTrace, *,
         for key, q in (("p50", 50.0), ("p95", 95.0), ("p99", 99.0),
                        ("max", 100.0))
     } if windows else {}
-    return FleetMetrics(
+    metrics = FleetMetrics(
         trigger_cve=trigger_cve,
         source_hypervisor=source_hypervisor,
         target_hypervisor=target_hypervisor,
@@ -177,3 +238,6 @@ def collect_metrics(records: Sequence[HostRecord], trace: FleetTrace, *,
         migrations_executed=migrations_executed,
         migrations_skipped=sum(h.skipped_migrations for h in outcomes),
     )
+    if registry is not None:
+        metrics.report_into(registry)
+    return metrics

@@ -88,6 +88,7 @@ class FifoSemaphore:
         if permits is not None and permits < 1:
             raise FleetError(f"semaphore needs >= 1 permit, got {permits}")
         self._engine = engine
+        self._capacity = permits
         self._free = permits
         self._queue: Deque[Gate] = deque()
 
@@ -107,6 +108,13 @@ class FifoSemaphore:
             return
         if self._queue:
             self._queue.popleft().fire()
+        elif self._free >= self._capacity:
+            # A double-release would silently raise the admission cap above
+            # its configured permit count; fail loudly instead.
+            raise FleetError(
+                f"semaphore over-released: all {self._capacity} permits "
+                f"are already free"
+            )
         else:
             self._free += 1
 
@@ -124,6 +132,7 @@ class FleetProcess:
         self._gen = gen
         self.name = name or repr(gen)
         self.done = False
+        self.result = None
         self.error: Optional[BaseException] = None
 
     def start(self) -> "FleetProcess":
@@ -135,8 +144,9 @@ class FleetProcess:
             return
         try:
             item = next(self._gen)
-        except StopIteration:
+        except StopIteration as stop:
             self.done = True
+            self.result = getattr(stop, "value", None)
             return
         except BaseException as exc:  # surfaced when the engine runs
             self.done = True
@@ -144,9 +154,12 @@ class FleetProcess:
             raise
         if isinstance(item, Waitable):
             item.subscribe(self._step)
-        elif isinstance(item, (int, float)) and item >= 0:
+        elif (isinstance(item, (int, float)) and not isinstance(item, bool)
+              and item >= 0):
             self._engine.call_after(float(item), self._step)
         else:
+            # bool is an int subclass: without the explicit rejection a
+            # buggy ``yield done_flag`` becomes a silent 1-second sleep.
             raise SimulationError(
                 f"fleet process {self.name!r} yielded {item!r}; expected a "
                 f"non-negative delay or a Waitable"

@@ -1,0 +1,52 @@
+"""Unified observability layer: tracing and metrics for every subsystem.
+
+The paper's claims are all *windows measured on a timeline* — Fig. 6 phase
+breakdowns, Fig. 11/12 workload dips, the fleet disclosure->remediated
+window — so the reproduction gets one first-class observability layer:
+
+* :mod:`trace` — the :class:`Span`/:class:`Trace` data model and the
+  Perfetto/Chrome trace-event exporter (stable integer pids/tids,
+  ``process_name``/``thread_name`` metadata, deterministic bytes);
+* :mod:`tracer` — the sim-clock-sourced :class:`Tracer` with a
+  context-manager/decorator span API, and the zero-cost
+  :data:`NULL_TRACER` every instrumented component defaults to;
+* :mod:`metrics` — :class:`Counter`/:class:`Gauge`/:class:`Histogram`
+  instruments in a :class:`MetricsRegistry` with deterministic sorted-key
+  JSON snapshots;
+* :mod:`builders` — span-timeline builders for finished reports
+  (:func:`trace_inplace`, :func:`trace_migration`) and fleet transition
+  logs (:func:`trace_fleet`).
+
+``repro.obs`` is the only module allowed to format trace timestamps — a
+``repro lint`` rule (``trace-format-hygiene``) enforces it, alongside
+``span-hygiene`` (spans may only be opened via ``with``, so every opened
+span closes).
+"""
+
+from repro.obs.builders import trace_fleet, trace_inplace, trace_migration
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import Span, Trace
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer, traced
+
+__all__ = [
+    "Span",
+    "Trace",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "traced",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "trace_inplace",
+    "trace_migration",
+    "trace_fleet",
+]

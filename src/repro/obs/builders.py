@@ -1,0 +1,115 @@
+"""Span-timeline builders for report and transition-log objects.
+
+Builders turn finished result objects — an :class:`InPlaceReport`, a
+:class:`MigrationReport`, a fleet transition log — into :class:`Trace`
+objects after the fact.  They complement the live :class:`Tracer` spans:
+builders reconstruct a timeline from a report's numbers (useful when the
+run was not traced), live spans record it as it happens.
+"""
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.trace import Span, Trace
+
+
+def trace_inplace(report, start_s: float = 0.0) -> Trace:
+    """Build the span timeline of one InPlaceTP run from its report.
+
+    Matches the run's phase ordering: PRAM (pre-pause), then the downtime
+    window (Translation -> Reboot -> Restoration), with the NIC re-init
+    overlapping restoration on its own track.
+    """
+    trace = Trace()
+    t = start_s
+    trace.add(Span("PRAM", "prepare", t, t + report.pram_s,
+                   track=report.machine))
+    t += report.pram_s
+    pause_start = t
+    trace.add(Span("Translation", "downtime", t, t + report.translation_s,
+                   track=report.machine))
+    t += report.translation_s
+    trace.add(Span("Reboot", "downtime", t, t + report.reboot_s,
+                   track=report.machine,
+                   args={"target": report.target}))
+    t += report.reboot_s
+    trace.add(Span("NIC re-init", "network", t, t + report.network_s,
+                   track=f"{report.machine}/nic"))
+    trace.add(Span("Restoration", "downtime", t, t + report.restoration_s,
+                   track=report.machine))
+    t += report.restoration_s
+    trace.add(Span("VMs paused", "guest", pause_start, t,
+                   track=f"{report.machine}/guests",
+                   args={"vm_count": report.vm_count}))
+    return trace
+
+
+def trace_migration(report, start_s: float = 0.0) -> Trace:
+    """Build the span timeline of one migration from its report."""
+    trace = Trace()
+    t = start_s
+    for round_ in report.rounds:
+        trace.add(Span(f"pre-copy round {round_.index}", "precopy",
+                       t, t + round_.duration_s,
+                       track=report.vm_name,
+                       args={"bytes": round_.bytes_sent}))
+        t += round_.duration_s
+    trace.add(Span("stop-and-copy", "downtime", t, t + report.downtime_s,
+                   track=report.vm_name,
+                   args={"destination": report.destination}))
+    return trace
+
+
+def trace_fleet(transitions, *, host_waves: Optional[Dict[str, int]] = None,
+                start_s: float = 0.0, end_s: Optional[float] = None,
+                campaign: str = "campaign") -> Trace:
+    """Build one campaign timeline from a fleet transition log.
+
+    ``transitions`` is an ordered sequence of objects with ``time_s``,
+    ``host``, ``source`` and ``target`` attributes (``target.terminal``
+    marks the end of a host's lifecycle) — the shape of
+    :class:`repro.fleet.state.Transition`.  The result has one track per
+    host carrying its state spans, each nested (by time containment)
+    inside a per-host wave span, plus a ``fleet`` track with the campaign
+    span and per-wave envelope spans.
+    """
+    trace = Trace()
+    host_waves = host_waves or {}
+    last: Dict[str, Tuple[float, object]] = {}
+    lifetimes: Dict[str, List[float]] = {}
+    for t in transitions:
+        lifetimes.setdefault(t.host, [t.time_s, t.time_s])[1] = t.time_s
+        prior = last.get(t.host)
+        if prior is not None:
+            since, state = prior
+            trace.add(Span(state.value, "host-state", since, t.time_s,
+                           track=t.host))
+        reason = getattr(t, "reason", "")
+        last[t.host] = (t.time_s, t.target)
+        if t.target.terminal:
+            trace.add(Span(t.target.value, "host-state", t.time_s, t.time_s,
+                           track=t.host,
+                           args={"reason": reason} if reason else None))
+            del last[t.host]
+
+    # Per-host wave envelopes: the state spans nest inside them.
+    wave_windows: Dict[int, List[float]] = {}
+    for host, (first, final) in sorted(lifetimes.items()):
+        wave = host_waves.get(host)
+        label = campaign if wave is None else f"wave {wave}"
+        trace.add(Span(label, "wave", first, final, track=host,
+                       args=None if wave is None else {"wave": wave}))
+        if wave is not None:
+            window = wave_windows.setdefault(wave, [first, final])
+            window[0] = min(window[0], first)
+            window[1] = max(window[1], final)
+
+    # The fleet track: one campaign span over everything, one per wave.
+    finished = end_s
+    if finished is None:
+        finished = max((w[1] for w in lifetimes.values()), default=start_s)
+    trace.add(Span(campaign, "campaign", start_s, finished, track="fleet",
+                   args={"hosts": len(lifetimes)}))
+    for wave, (first, final) in sorted(wave_windows.items()):
+        trace.add(Span(f"wave {wave}", "wave", first, final,
+                       track=f"fleet/wave {wave}"))
+    return trace

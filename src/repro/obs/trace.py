@@ -1,0 +1,137 @@
+"""Span data model and the Perfetto/Chrome trace-event exporter.
+
+A :class:`Span` is one named interval on the simulated timeline; a
+:class:`Trace` is an ordered collection of spans with an exporter to the
+Chrome trace-event JSON format (loadable in ``chrome://tracing`` and
+``ui.perfetto.dev``).
+
+Track naming convention: ``"node03"`` puts a span on host ``node03``'s main
+track; ``"node03/nic"`` puts it on a sub-track (a separate *thread* of the
+same *process* in trace-viewer terms).  The exporter assigns stable integer
+``pid``/``tid`` values per track — sorted track names get ascending ids, so
+the same spans always serialize to the same bytes — and emits
+``process_name``/``thread_name`` metadata events so viewers label the
+timeline rows.  The trace-event spec requires integer ids; string ``tid``
+values break ``trace_processor`` and the catapult tooling.
+"""
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class Span:
+    """One named interval on the simulated timeline."""
+
+    name: str
+    category: str
+    start_s: float
+    end_s: float
+    track: str = "host"
+    args: Optional[Dict[str, object]] = None
+
+    def __post_init__(self) -> None:
+        if self.end_s < self.start_s:
+            raise ReproError(
+                f"span {self.name!r} ends before it starts "
+                f"({self.end_s} < {self.start_s})"
+            )
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+    @property
+    def process(self) -> str:
+        """The track's top-level group (the part before the first ``/``)."""
+        return self.track.split("/", 1)[0]
+
+
+class Trace:
+    """An ordered collection of spans with an exporter."""
+
+    def __init__(self):
+        self.spans: List[Span] = []
+
+    def add(self, span: Span) -> None:
+        self.spans.append(span)
+
+    def extend(self, spans) -> None:
+        for span in spans:
+            self.add(span)
+
+    def __iter__(self):
+        return iter(self.spans)
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def total_span(self) -> float:
+        if not self.spans:
+            return 0.0
+        return (max(s.end_s for s in self.spans)
+                - min(s.start_s for s in self.spans))
+
+    def tracks(self) -> List[str]:
+        """Distinct track names, sorted (the exporter's id order)."""
+        return sorted({span.track for span in self.spans})
+
+    def track_ids(self) -> Tuple[Dict[str, int], Dict[str, int]]:
+        """Stable integer ids: ``(pid_of_process, tid_of_track)``.
+
+        Processes (top-level track groups) and tracks are numbered from 1
+        in sorted-name order, so identical span sets always map to
+        identical ids regardless of insertion order.
+        """
+        tracks = self.tracks()
+        processes = sorted({t.split("/", 1)[0] for t in tracks})
+        pid_of = {name: index + 1 for index, name in enumerate(processes)}
+        tid_of = {name: index + 1 for index, name in enumerate(tracks)}
+        return pid_of, tid_of
+
+    def to_chrome_trace(self) -> str:
+        """Export as Chrome trace-event JSON (complete 'X' events, µs).
+
+        Metadata (``"ph": "M"``) events naming every process and thread
+        come first, then the spans sorted by start time.  Output is
+        deterministic: same spans, same bytes.
+        """
+        pid_of, tid_of = self.track_ids()
+        events: List[Dict[str, object]] = []
+        for process, pid in sorted(pid_of.items()):
+            events.append({
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": process},
+            })
+        for track, tid in sorted(tid_of.items()):
+            process, _, sub = track.partition("/")
+            events.append({
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid_of[process],
+                "tid": tid,
+                "args": {"name": sub or process},
+            })
+        ordered = sorted(
+            self.spans,
+            key=lambda s: (s.start_s, tid_of[s.track], -s.end_s, s.name),
+        )
+        for span in ordered:
+            events.append({
+                "name": span.name,
+                "cat": span.category,
+                "ph": "X",
+                "ts": round(span.start_s * 1e6, 3),
+                "dur": round(span.duration_s * 1e6, 3),
+                "pid": pid_of[span.process],
+                "tid": tid_of[span.track],
+                "args": span.args or {},
+            })
+        return json.dumps({"traceEvents": events,
+                           "displayTimeUnit": "ms"}, indent=2, sort_keys=True)

@@ -1,121 +1,13 @@
-"""Span tracing and chrome-trace export.
+"""Back-compat shim: span tracing moved to :mod:`repro.obs`.
 
-Turns transplant reports and timelines into span lists and into the Chrome
-``chrome://tracing`` / Perfetto JSON format, so a run can be inspected on a
-real timeline viewer.  Spans are pure data; builders exist for the two
-report types.
+This module once held the whole tracing story (two report builders and a
+chrome-trace exporter); it grew into the unified observability layer at
+:mod:`repro.obs` — live sim-clock tracers, a metrics registry, and a
+spec-correct Perfetto exporter.  Import from ``repro.obs`` in new code;
+the old names keep working here.
 """
 
-import json
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from repro.obs.trace import Span, Trace
+from repro.obs.builders import trace_inplace, trace_migration
 
-from repro.errors import ReproError
-
-
-@dataclass(frozen=True)
-class Span:
-    """One named interval on the simulated timeline."""
-
-    name: str
-    category: str
-    start_s: float
-    end_s: float
-    track: str = "host"
-    args: Optional[Dict[str, object]] = None
-
-    def __post_init__(self) -> None:
-        if self.end_s < self.start_s:
-            raise ReproError(
-                f"span {self.name!r} ends before it starts "
-                f"({self.end_s} < {self.start_s})"
-            )
-
-    @property
-    def duration_s(self) -> float:
-        return self.end_s - self.start_s
-
-
-class Trace:
-    """An ordered collection of spans with an exporter."""
-
-    def __init__(self):
-        self.spans: List[Span] = []
-
-    def add(self, span: Span) -> None:
-        self.spans.append(span)
-
-    def extend(self, spans) -> None:
-        for span in spans:
-            self.add(span)
-
-    def total_span(self) -> float:
-        if not self.spans:
-            return 0.0
-        return (max(s.end_s for s in self.spans)
-                - min(s.start_s for s in self.spans))
-
-    def to_chrome_trace(self) -> str:
-        """Export as Chrome trace-event JSON (complete 'X' events, µs)."""
-        events = []
-        for index, span in enumerate(sorted(self.spans,
-                                            key=lambda s: s.start_s)):
-            events.append({
-                "name": span.name,
-                "cat": span.category,
-                "ph": "X",
-                "ts": round(span.start_s * 1e6, 3),
-                "dur": round(span.duration_s * 1e6, 3),
-                "pid": 1,
-                "tid": span.track,
-                "args": span.args or {},
-            })
-        return json.dumps({"traceEvents": events,
-                           "displayTimeUnit": "ms"}, indent=2)
-
-
-def trace_inplace(report, start_s: float = 0.0) -> Trace:
-    """Build the span timeline of one InPlaceTP run from its report.
-
-    Matches the run's phase ordering: PRAM (pre-pause), then the downtime
-    window (Translation -> Reboot -> Restoration), with the NIC re-init
-    overlapping restoration on its own track.
-    """
-    trace = Trace()
-    t = start_s
-    trace.add(Span("PRAM", "prepare", t, t + report.pram_s,
-                   track=report.machine))
-    t += report.pram_s
-    pause_start = t
-    trace.add(Span("Translation", "downtime", t, t + report.translation_s,
-                   track=report.machine))
-    t += report.translation_s
-    trace.add(Span("Reboot", "downtime", t, t + report.reboot_s,
-                   track=report.machine,
-                   args={"target": report.target}))
-    t += report.reboot_s
-    trace.add(Span("NIC re-init", "network", t, t + report.network_s,
-                   track=f"{report.machine}/nic"))
-    trace.add(Span("Restoration", "downtime", t, t + report.restoration_s,
-                   track=report.machine))
-    t += report.restoration_s
-    trace.add(Span("VMs paused", "guest", pause_start, t,
-                   track=f"{report.machine}/guests",
-                   args={"vm_count": report.vm_count}))
-    return trace
-
-
-def trace_migration(report, start_s: float = 0.0) -> Trace:
-    """Build the span timeline of one migration from its report."""
-    trace = Trace()
-    t = start_s
-    for round_ in report.rounds:
-        trace.add(Span(f"pre-copy round {round_.index}", "precopy",
-                       t, t + round_.duration_s,
-                       track=report.vm_name,
-                       args={"bytes": round_.bytes_sent}))
-        t += round_.duration_s
-    trace.add(Span("stop-and-copy", "downtime", t, t + report.downtime_s,
-                   track=report.vm_name,
-                   args={"destination": report.destination}))
-    return trace
+__all__ = ["Span", "Trace", "trace_inplace", "trace_migration"]

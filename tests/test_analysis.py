@@ -503,6 +503,8 @@ class TestEngineAndReporters:
             "exception-hygiene",
             "registry-completeness",
             "sim-clock-hygiene",
+            "span-hygiene",
+            "trace-format-hygiene",
             "uisr-field-coverage",
         }
 
@@ -576,3 +578,98 @@ class TestLiveTree:
         out = capsys.readouterr().out
         assert "codec-symmetry" in out
         assert "uisr-field-coverage" in out
+
+
+# -- span-hygiene -------------------------------------------------------------
+
+class TestSpanHygiene:
+    def test_span_outside_with_flagged(self):
+        findings, _ = analyze(
+            {
+                "core/x.py": textwrap.dedent(
+                    """
+                    def work(tracer):
+                        cm = tracer.span("phase", "cat")
+                        cm.__enter__()
+                    """
+                ),
+            },
+            rules=["span-hygiene"],
+        )
+        assert len(findings) == 1
+        assert findings[0].path == "core/x.py"
+        assert findings[0].line == 3
+        assert "with" in findings[0].message
+
+    def test_with_span_is_clean(self):
+        findings, _ = analyze(
+            {
+                "core/x.py": textwrap.dedent(
+                    """
+                    def work(tracer):
+                        with tracer.span("phase", "cat"):
+                            pass
+                        with tracer.span("a") as a, tracer.span("b"):
+                            pass
+                    """
+                ),
+            },
+            rules=["span-hygiene"],
+        )
+        assert findings == []
+
+    def test_obs_layer_is_exempt(self):
+        findings, _ = analyze(
+            {"obs/tracer.py": "def f(t):\n    t.span('x')\n"},
+            rules=["span-hygiene"],
+        )
+        assert findings == []
+
+
+# -- trace-format-hygiene ------------------------------------------------------
+
+class TestTraceFormatHygiene:
+    def test_hand_built_event_flagged(self):
+        findings, _ = analyze(
+            {
+                "fleet/x.py": textwrap.dedent(
+                    """
+                    def export(span):
+                        return {"name": span.name, "ph": "X",
+                                "ts": span.start_s * 1e6}
+                    """
+                ),
+            },
+            rules=["trace-format-hygiene"],
+        )
+        assert len(findings) == 1
+        assert "to_chrome_trace" in findings[0].message
+
+    def test_hand_built_envelope_flagged(self):
+        findings, _ = analyze(
+            {"cli.py": 'DOC = {"traceEvents": []}\n'},
+            rules=["trace-format-hygiene"],
+        )
+        assert len(findings) == 1
+
+    def test_unrelated_dicts_are_clean(self):
+        findings, _ = analyze(
+            {
+                "fleet/x.py": textwrap.dedent(
+                    """
+                    A = {"ph": 7.4}
+                    B = {"ts": 1, "name": "x"}
+                    C = {"hosts": 3, "waves": 2}
+                    """
+                ),
+            },
+            rules=["trace-format-hygiene"],
+        )
+        assert findings == []
+
+    def test_obs_layer_is_exempt(self):
+        findings, _ = analyze(
+            {"obs/trace.py": 'E = {"ph": "X", "ts": 0}\n'},
+            rules=["trace-format-hygiene"],
+        )
+        assert findings == []

@@ -145,3 +145,44 @@ class TestTraceFlag:
         document = json.loads(path.read_text())
         names = {e["name"] for e in document["traceEvents"]}
         assert {"PRAM", "Reboot", "VMs paused"} <= names
+
+
+class TestTraceCommand:
+    def run_trace(self, capsys, *extra):
+        assert main(["trace", "--hosts", "4", "--vms-per-host", "4",
+                     "--seed", "7", *extra]) == 0
+        return capsys.readouterr()
+
+    def test_emits_valid_perfetto_json(self, capsys):
+        import json
+
+        captured = self.run_trace(capsys)
+        document = json.loads(captured.out)
+        events = document["traceEvents"]
+        kinds = {e["ph"] for e in events}
+        assert kinds == {"M", "X"}
+        processes = {e["args"]["name"] for e in events
+                     if e["name"] == "process_name"}
+        # One track per host plus the fleet summary track.
+        assert processes == {"fleet", "node00", "node01", "node02", "node03"}
+
+    def test_byte_identical_per_seed(self, capsys):
+        first = self.run_trace(capsys).out
+        second = self.run_trace(capsys).out
+        assert first == second
+
+    def test_out_and_metrics_files(self, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.json"
+        self.run_trace(capsys, "--out", str(trace_path),
+                       "--metrics", str(metrics_path))
+        assert json.loads(trace_path.read_text())["traceEvents"]
+        snapshot = json.loads(metrics_path.read_text())
+        assert snapshot["format"] == "hypertp-metrics"
+        assert snapshot["metrics"]["fleet_hosts_done_total"]["value"] == 4.0
+
+    def test_medium_cve_rejected(self, capsys):
+        assert main(["trace", "--hosts", "4",
+                     "--cve", "CVE-2015-8104"]) == 2

@@ -382,3 +382,199 @@ class TestMetricsDocument:
             FleetConfig(concurrency=0)
         with pytest.raises(FleetError):
             FleetConfig(migration_streams=0)
+
+
+# -- simsync bugfixes ---------------------------------------------------------
+
+class TestSemaphoreOverRelease:
+    def test_double_release_raises(self):
+        # Regression: a double release used to silently raise the cap — an
+        # admission semaphore of 2 would quietly become one of 3.
+        engine = Engine(SimClock())
+        sem = FifoSemaphore(engine, 2)
+        sem.acquire()
+        sem.release()
+        with pytest.raises(FleetError, match="over-released"):
+            sem.release()
+
+    def test_release_with_waiters_never_overflows(self):
+        engine = Engine(SimClock())
+        sem = FifoSemaphore(engine, 1)
+        sem.acquire()
+        waiting = sem.acquire()
+        assert not waiting.fired
+        sem.release()  # hands the permit to the waiter, not the pool
+        engine.run()
+        assert waiting.fired
+        sem.release()
+        with pytest.raises(FleetError):
+            sem.release()
+
+    def test_unbounded_release_is_noop(self):
+        engine = Engine(SimClock())
+        sem = FifoSemaphore(engine, None)
+        sem.release()
+        sem.release()  # no cap to breach
+
+
+class TestFleetProcessYields:
+    def test_bool_yield_rejected(self):
+        # Regression: bool is an int subclass, so ``yield done_flag`` used
+        # to be accepted as a 1-second sleep instead of failing loudly.
+        from repro.errors import SimulationError
+
+        engine = Engine(SimClock())
+
+        def buggy():
+            yield True
+
+        FleetProcess(engine, buggy(), name="buggy").start()
+        with pytest.raises(SimulationError, match="yielded True"):
+            engine.run()
+
+    def test_return_value_captured(self):
+        engine = Engine(SimClock())
+
+        def worker():
+            yield 1.0
+            return 41 + 1
+
+        process = FleetProcess(engine, worker(), name="w").start()
+        engine.run()
+        assert process.done
+        assert process.result == 42
+
+    def test_plain_finish_has_none_result(self):
+        engine = Engine(SimClock())
+
+        def worker():
+            yield 0.5
+
+        process = FleetProcess(engine, worker(), name="w").start()
+        engine.run()
+        assert process.done and process.result is None
+
+
+# -- percentile exactness (satellite) -----------------------------------------
+
+class TestPercentileExactness:
+    def test_no_float_drift_at_integer_ranks(self):
+        # Regression: 0.55 * 20 = 11.000000000000002 in floats, so a
+        # float-multiplied ceil() picked rank 12 instead of 11.
+        values = [float(v) for v in range(1, 21)]
+        assert percentile(values, 55.0) == 11.0
+
+    def test_exact_at_every_integer_boundary(self):
+        import math
+        from fractions import Fraction
+
+        for n in (7, 20, 29, 100, 128):
+            values = [float(v) for v in range(1, n + 1)]
+            for q in range(1, 101):
+                expected_rank = math.ceil(Fraction(n) * q / 100)
+                assert percentile(values, float(q)) == float(expected_rank)
+
+    def test_matches_statistics_quantiles_neighborhood(self):
+        # Property check against the stdlib: nearest-rank must stay within
+        # one order-statistic of the inclusive-interpolated quantile.
+        import math
+        import random
+        import statistics
+
+        rng = random.Random(1234)
+        for trial in range(50):
+            n = rng.randint(5, 200)
+            values = sorted(rng.uniform(0, 1e4) for _ in range(n))
+            cuts = statistics.quantiles(values, n=100, method="inclusive")
+            for q in (10, 25, 50, 75, 90, 95, 99):
+                ours = percentile(values, float(q))
+                rank = math.ceil(n * q / 100) or 1
+                lo = values[max(0, rank - 2)]
+                hi = values[min(n - 1, rank)]
+                assert lo <= cuts[q - 1] <= hi or ours == pytest.approx(
+                    cuts[q - 1], rel=0.5
+                )
+                assert ours == values[rank - 1]
+
+    def test_q_zero_is_minimum(self):
+        assert percentile([3.0, 1.0, 2.0], 0.0) == 1.0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(FleetError):
+            percentile([1.0], 101.0)
+
+
+# -- controller observability (tentpole) --------------------------------------
+
+class TestCampaignObservability:
+    def run_observed(self, **overrides):
+        from repro.obs import MetricsRegistry, Tracer
+
+        defaults = dict(hosts=6, vms_per_host=4, inplace_fraction=0.5,
+                        group_size=2, seed=11)
+        defaults.update(overrides)
+        config = FleetConfig(**defaults)
+        tracer = Tracer()
+        registry = MetricsRegistry()
+        controller = FleetController(
+            config,
+            injector=FailureInjector(0.0, seed=config.seed),
+            tracer=tracer, registry=registry,
+        )
+        metrics = controller.run()
+        return tracer, registry, metrics
+
+    def test_one_track_per_host_plus_fleet(self):
+        tracer, _, metrics = self.run_observed()
+        tracks = tracer.trace.tracks()
+        host_tracks = [t for t in tracks if t.startswith("node")]
+        assert len(host_tracks) == metrics.hosts
+        assert "fleet" in tracks
+
+    def test_host_spans_nest_inside_wave_envelope(self):
+        tracer, _, _ = self.run_observed()
+        for track in tracer.trace.tracks():
+            if not track.startswith("node"):
+                continue
+            spans = [s for s in tracer.trace.spans if s.track == track]
+            wave = next(s for s in spans if s.category == "wave")
+            for span in spans:
+                assert wave.start_s <= span.start_s
+                assert span.end_s <= wave.end_s
+
+    def test_campaign_span_covers_fleet_window(self):
+        tracer, _, metrics = self.run_observed()
+        campaign = next(s for s in tracer.trace.spans
+                        if s.category == "campaign")
+        assert campaign.duration_s == pytest.approx(
+            metrics.completed_at_s - metrics.disclosure_at_s
+        )
+
+    def test_trace_byte_identical_per_seed(self):
+        first, _, _ = self.run_observed(seed=13)
+        second, _, _ = self.run_observed(seed=13)
+        assert first.to_chrome_trace() == second.to_chrome_trace()
+
+    def test_registry_matches_metrics_document(self):
+        _, registry, metrics = self.run_observed()
+        assert registry.get("fleet_hosts_done_total").value == (
+            metrics.done_hosts
+        )
+        assert registry.get("fleet_window_seconds").value == pytest.approx(
+            metrics.fleet_window_s
+        )
+        histogram = registry.get("fleet_host_window_seconds")
+        assert histogram.count == sum(
+            1 for h in metrics.per_host if h.window_s is not None
+        )
+        assert histogram.max == pytest.approx(metrics.fleet_window_s)
+
+    def test_registry_snapshot_byte_identical_per_seed(self):
+        _, first, _ = self.run_observed(seed=13)
+        _, second, _ = self.run_observed(seed=13)
+        assert first.to_json() == second.to_json()
+
+    def test_untraced_campaign_metrics_unchanged(self):
+        _, _, observed = self.run_observed()
+        _, plain = run_campaign()
+        assert observed.to_json() == plain.to_json()
