@@ -8,6 +8,7 @@ import it below (see ``docs/static-analysis.md``).
 from repro.analysis.rules import (  # noqa: F401
     codec_symmetry,
     hygiene,
+    io_hygiene,
     obs_hygiene,
     registry_complete,
     uisr_coverage,

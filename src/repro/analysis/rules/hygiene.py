@@ -22,7 +22,7 @@ from repro.analysis.findings import Finding
 from repro.analysis.project import Project, SourceModule, dotted_name
 
 #: layers that must run on simulated time (path prefixes)
-CLOCK_SCOPE = ("sim/", "core/", "hypervisors/", "fleet/", "obs/")
+CLOCK_SCOPE = ("sim/", "core/", "hypervisors/", "fleet/", "obs/", "io/")
 
 #: fully-qualified callables that read the wall clock or block on it
 WALL_CLOCK_CALLS = frozenset({

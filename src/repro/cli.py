@@ -97,6 +97,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="comma-separated InPlaceTP shares")
     cluster.add_argument("--hosts", type=int, default=10)
     cluster.add_argument("--vms-per-host", type=int, default=10)
+    cluster.add_argument("--export-plan", dest="export_plan", metavar="FILE",
+                         help="write the reconfiguration plan for "
+                              "--export-fraction as a framed binary blob")
+    cluster.add_argument("--export-fraction", type=float, default=0.8,
+                         help="InPlaceTP fraction of the exported plan")
 
     fleet = sub.add_parser(
         "fleet",
@@ -243,6 +248,9 @@ def cmd_migrate(args) -> int:
     print(f"  total           : {report.total_s:.2f} s")
     print(f"  bytes moved     : {report.bytes_transferred / (1 << 30):.2f} GiB "
           f"({report.wire_messages} wire messages)")
+    print(f"  wire dedup      : {report.wire_unique_pages} unique pages, "
+          f"{report.wire_dedup_hits} dedup hits, "
+          f"ratio {report.wire_dedup_ratio:.2f}")
     print(f"  guest intact    : {report.guest_digest_preserved}")
     return 0
 
@@ -291,7 +299,8 @@ def cmd_vulns(_args) -> int:
 
 
 def cmd_cluster(args) -> int:
-    from repro.cluster import UpgradeCampaign
+    from repro.cluster import BtrPlacePlanner, UpgradeCampaign, encode_plan
+    from repro.cluster.model import build_paper_cluster
 
     fractions = [float(f) for f in args.fractions.split(",")]
     campaign = UpgradeCampaign(hosts=args.hosts,
@@ -304,6 +313,18 @@ def cmd_cluster(args) -> int:
         print(f"  {result.inplace_fraction:>5.0%}: "
               f"{result.migration_count:4d} migrations, "
               f"{result.total_minutes:6.1f} min, gain {gain:4.0%}")
+    if args.export_plan:
+        cluster = build_paper_cluster(
+            hosts=args.hosts, vms_per_host=args.vms_per_host,
+            inplace_fraction=args.export_fraction, seed=campaign.seed,
+        )
+        plan = BtrPlacePlanner(cluster,
+                               group_size=campaign.group_size).plan(apply=False)
+        blob = encode_plan(plan)
+        with open(args.export_plan, "wb") as handle:
+            handle.write(blob)
+        print(f"plan ({args.export_fraction:.0%} in-place) -> "
+              f"{args.export_plan} ({len(blob)} bytes)")
     return 0
 
 

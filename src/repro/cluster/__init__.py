@@ -15,6 +15,8 @@ from repro.cluster.plan import MigrationAction, InPlaceAction, ReconfigurationPl
 from repro.cluster.executor import PlanExecutor, ExecutionResult
 from repro.cluster.upgrade import UpgradeCampaign, CampaignResult
 from repro.cluster.serialize import (
+    decode_plan,
+    encode_plan,
     export_plan,
     import_plan,
     summarize_plan,
@@ -23,6 +25,8 @@ from repro.cluster.serialize import (
 __all__ = [
     "export_plan",
     "import_plan",
+    "encode_plan",
+    "decode_plan",
     "summarize_plan",
     "Cluster",
     "ClusterNode",

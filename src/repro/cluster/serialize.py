@@ -2,14 +2,22 @@
 
 Operators review maintenance plans before executing them; this module
 round-trips a :class:`~repro.cluster.plan.ReconfigurationPlan` through a
-JSON document (the artifact a change-review ticket would attach), and
-renders a human-readable summary.
+JSON document (the artifact a change-review ticket would attach), renders
+a human-readable summary, and — for the control-plane transport — packs
+the same document into a ``repro.io`` framed binary blob
+(:func:`encode_plan`/:func:`decode_plan`).  The blob carries an explicit
+format-version field and is END-terminated, so version skew, corruption,
+truncation and concatenated garbage tails all fail loudly as
+:class:`~repro.errors.PlanningError`.
 """
 
 import json
-from typing import Dict
+from typing import Dict, Optional
 
-from repro.errors import PlanningError
+from repro.errors import PlanningError, StateFormatError
+from repro.io.frames import FrameReader, FrameWriter, Packer, StreamMeter, Unpacker
+from repro.obs import NULL_TRACER
+from repro.obs.metrics import MetricsRegistry
 from repro.cluster.model import WorkloadKind
 from repro.cluster.plan import (
     GroupPlan,
@@ -20,6 +28,12 @@ from repro.cluster.plan import (
 
 PLAN_FORMAT = "hypertp-plan"
 PLAN_VERSION = 1
+
+#: version of the framed binary plan-blob envelope.
+PLAN_BLOB_VERSION = 1
+
+#: frame type tag carrying one plan document.
+PLAN_DOC_FRAME = 1
 
 
 def plan_to_dict(plan: ReconfigurationPlan) -> Dict:
@@ -99,6 +113,52 @@ def import_plan(text: str) -> ReconfigurationPlan:
     except json.JSONDecodeError as exc:
         raise PlanningError(f"plan is not valid JSON: {exc}") from exc
     return plan_from_dict(document)
+
+
+def encode_plan(plan: ReconfigurationPlan,
+                registry: Optional[MetricsRegistry] = None,
+                tracer=NULL_TRACER) -> bytes:
+    """Pack a plan into one framed, CRC-checked, versioned binary blob."""
+    with tracer.span("plan.encode", "io"):
+        text = json.dumps(plan_to_dict(plan), sort_keys=True,
+                          separators=(",", ":"))
+        data = text.encode()
+        packer = Packer()
+        packer.u32(PLAN_BLOB_VERSION)
+        packer.u32(len(data)).raw(data)
+        writer = FrameWriter(StreamMeter("plan", registry))
+        writer.frame(PLAN_DOC_FRAME, packer.bytes())
+        return writer.finish()
+
+
+def decode_plan(blob: bytes,
+                registry: Optional[MetricsRegistry] = None,
+                tracer=NULL_TRACER) -> ReconfigurationPlan:
+    """Parse a plan blob; rejects corrupt, truncated or trailing bytes."""
+    with tracer.span("plan.decode", "io"):
+        try:
+            reader = FrameReader(blob, StreamMeter("plan", registry))
+            first = reader.read()
+            if first is None:
+                raise PlanningError("empty plan blob")
+            frame_type, payload = first
+            if frame_type != PLAN_DOC_FRAME:
+                raise PlanningError(f"unexpected plan frame type {frame_type}")
+            if reader.read() is not None:
+                raise PlanningError("multiple documents in plan blob")
+            reader.expect_end()
+            body = Unpacker(payload)
+            version = body.u32()
+            if version != PLAN_BLOB_VERSION:
+                raise PlanningError(
+                    f"unsupported plan blob version {version}")
+            text = body.raw(body.u32()).decode()
+            body.expect_end()
+        except PlanningError:
+            raise
+        except StateFormatError as exc:
+            raise PlanningError(f"corrupt plan blob: {exc}") from exc
+        return import_plan(text)
 
 
 def summarize_plan(plan: ReconfigurationPlan) -> str:

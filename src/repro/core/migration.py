@@ -61,6 +61,10 @@ class MigrationReport:
     wire_messages: int = 0
     wire_bytes: int = 0
     pages_resent: int = 0
+    #: page-record dedup on the wire (repro.io stream-scoped digest table)
+    wire_unique_pages: int = 0
+    wire_dedup_hits: int = 0
+    wire_dedup_ratio: float = 1.0
     guest_digest_preserved: bool = False
 
     @property
@@ -293,7 +297,7 @@ class LiveMigration(_MigrationBase):
         report.bytes_transferred = sum(r.bytes_sent for r in rounds)
 
         # The pre-copy rounds travel the wire protocol.
-        stream = wire.MigrationStream()
+        stream = wire.MigrationStream(tracer=self.tracer)
         residual_gfns = self._stream_precopy(vm, rounds, stream,
                                              guest_writes_rng)
         clock.advance(report.precopy_s)
@@ -318,6 +322,10 @@ class LiveMigration(_MigrationBase):
         final_digest = vm.image.content_digest()
         report.wire_messages = stream.messages_sent
         report.wire_bytes = stream.bytes_sent
+        stats = stream.page_stats
+        report.wire_unique_pages = stats.unique_digests
+        report.wire_dedup_hits = stats.dedup_hits
+        report.wire_dedup_ratio = stats.ratio
         report.pages_resent = sum(
             min(vm.image.page_count, r.dirty_after_bytes // vm.image.page_size)
             for r in rounds[:-1]
@@ -399,7 +407,7 @@ class MigrationTP(_MigrationBase):
 
         # The pre-copy rounds travel the wire protocol; guest pages are
         # hypervisor-independent and never translated (§3.3).
-        stream = wire.MigrationStream()
+        stream = wire.MigrationStream(tracer=self.tracer)
         residual_gfns = self._stream_precopy(vm, rounds, stream,
                                              guest_writes_rng)
         clock.advance(report.precopy_s)
@@ -427,6 +435,10 @@ class MigrationTP(_MigrationBase):
         final_digest = vm.image.content_digest()
         report.wire_messages = stream.messages_sent
         report.wire_bytes = stream.bytes_sent
+        stats = stream.page_stats
+        report.wire_unique_pages = stats.unique_digests
+        report.wire_dedup_hits = stats.dedup_hits
+        report.wire_dedup_ratio = stats.ratio
         report.pages_resent = sum(
             min(vm.image.page_count, r.dirty_after_bytes // vm.image.page_size)
             for r in rounds[:-1]

@@ -22,8 +22,20 @@ byte-exact encoding of every page.
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.errors import PRAMError
+from repro.errors import PRAMError, StateFormatError
 from repro.hw.memory import PAGE_4K, PhysicalMemory
+from repro.io.frames import FrameReader, FrameWriter, Packer, StreamMeter, Unpacker
+from repro.io.pages import (
+    DedupStats,
+    PageStreamDecoder,
+    PageStreamEncoder,
+    decode_entry_records,
+    encode_entry_records,
+    pack_entry_record,
+    unpack_entry_record,
+)
+from repro.obs import NULL_TRACER
+from repro.obs.metrics import MetricsRegistry
 
 # Byte budget per metadata page and record sizes.
 _PAGE_BYTES = PAGE_4K
@@ -33,26 +45,24 @@ _ENTRIES_PER_NODE = (_PAGE_BYTES - _NODE_HEADER_BYTES) // _PAGE_ENTRY_BYTES
 _FILEINFO_HEADER_BYTES = 64  # name, size, mode, first-node pointer
 _FILES_PER_ROOT_PAGE = (_PAGE_BYTES - 16) // 8
 
-# Page-entry bit layout (8 bytes total):
-#   [63:24] gfn (40 bits)  [23:4] mfn delta-coded separately — we keep the
-# layout simple and byte-exact by packing (gfn:28, mfn:30, order:6) which
-# covers 1 TiB hosts with 2 MB chunks.
-_GFN_BITS = 28
-_MFN_BITS = 30
-_ORDER_BITS = 6
-
-
+# The 8-byte (gfn:28, mfn:30, order:6) page-entry bit layout lives in
+# repro.io.pages — the shared codec layer — and is wrapped here so range
+# violations surface as PRAMError.
 def _pack_entry(gfn: int, mfn: int, order: int) -> int:
-    if gfn >= (1 << _GFN_BITS) or mfn >= (1 << _MFN_BITS) or order >= (1 << _ORDER_BITS):
-        raise PRAMError(f"page entry out of range: gfn={gfn} mfn={mfn} order={order}")
-    return (gfn << (_MFN_BITS + _ORDER_BITS)) | (mfn << _ORDER_BITS) | order
+    try:
+        return pack_entry_record(gfn, mfn, order)
+    except StateFormatError as exc:
+        raise PRAMError(str(exc)) from exc
 
 
 def _unpack_entry(packed: int) -> Tuple[int, int, int]:
-    order = packed & ((1 << _ORDER_BITS) - 1)
-    mfn = (packed >> _ORDER_BITS) & ((1 << _MFN_BITS) - 1)
-    gfn = packed >> (_MFN_BITS + _ORDER_BITS)
-    return gfn, mfn, order
+    return unpack_entry_record(packed)
+
+
+# Frame type tags of the PRAM stream (see docs/state-io.md).
+_FRAME_HEADER = 1
+_FRAME_FILE = 2
+_FRAME_CONTENTS = 3
 
 
 @dataclass(frozen=True)
@@ -126,6 +136,8 @@ class PRAMFilesystem:
         self._metadata_mfns: List[int] = []
         self.pram_pointer: Optional[int] = None
         self._sealed = False
+        #: dedup statistics of the last ``encode(include_contents=True)``.
+        self.last_encode_stats: Optional[DedupStats] = None
 
     # -- construction -------------------------------------------------------
 
@@ -222,49 +234,131 @@ class PRAMFilesystem:
 
     # -- serialization (what early boot parses) ----------------------------------
 
-    def encode(self) -> bytes:
-        """Byte-exact encoding of the metadata pages (for parsing tests)."""
-        from repro.hypervisors.state import Packer
+    def encode(self, include_contents: bool = False,
+               registry: Optional[MetricsRegistry] = None,
+               tracer=NULL_TRACER) -> bytes:
+        """Byte-exact encoding of the metadata pages (what early boot parses).
 
-        packer = Packer()
-        packer.u32(len(self.files))
-        for name in sorted(self.files):
-            pram_file = self.files[name]
-            encoded_name = name.encode()
-            packer.u16(len(encoded_name)).raw(encoded_name)
-            packer.u32(pram_file.page_size)
-            packer.u32(pram_file.mode)
-            packer.u32(len(pram_file.entries))
-            for entry in pram_file.entries:
-                packer.u64(entry.packed())
-        return packer.bytes()
+        One ``repro.io`` framed stream: a header frame, one FILE frame per
+        VM (entries run-coalesced when smaller), and — with
+        ``include_contents=True`` — one CONTENTS frame per file carrying
+        the described frames' ``(gfn, digest)`` records through the shared
+        page-batch encoder, so the restored guest can be verified against
+        what was sealed (stats land in :attr:`last_encode_stats`).
+        """
+        with tracer.span("pram.encode", "io"):
+            meter = StreamMeter("pram", registry)
+            writer = FrameWriter(meter)
+            header = Packer().u32(len(self.files)).u8(
+                1 if include_contents else 0)
+            writer.frame(_FRAME_HEADER, header.bytes())
+            pages_encoder = PageStreamEncoder(meter) if include_contents else None
+            self.last_encode_stats = None
+            for name in sorted(self.files):
+                pram_file = self.files[name]
+                encoded_name = name.encode()
+                packer = Packer()
+                packer.u16(len(encoded_name)).raw(encoded_name)
+                packer.u32(pram_file.page_size)
+                packer.u32(pram_file.mode)
+                packer.raw(encode_entry_records(
+                    (e.gfn, e.mfn, e.order) for e in pram_file.entries))
+                writer.frame(_FRAME_FILE, packer.bytes())
+                if pages_encoder is not None:
+                    records = [(gfn, self.memory.read(mfn))
+                               for gfn, mfn
+                               in sorted(pram_file.guest_layout.items())]
+                    contents = Packer()
+                    contents.u16(len(encoded_name)).raw(encoded_name)
+                    contents.raw(pages_encoder.encode_batch(records))
+                    writer.frame(_FRAME_CONTENTS, contents.bytes())
+            if pages_encoder is not None:
+                self.last_encode_stats = pages_encoder.stats
+            return writer.finish()
 
     @staticmethod
-    def decode(blob: bytes, memory: PhysicalMemory) -> "PRAMFilesystem":
-        """Rebuild a PRAM view from its encoding (target's early boot)."""
-        from repro.hypervisors.state import Unpacker
+    def decode(blob: bytes, memory: PhysicalMemory,
+               registry: Optional[MetricsRegistry] = None,
+               tracer=NULL_TRACER) -> "PRAMFilesystem":
+        """Rebuild a PRAM view from its encoding (target's early boot).
 
-        unpacker = Unpacker(blob)
+        When the stream carries CONTENTS frames, every recorded page
+        digest is checked against the frame it describes — state that was
+        scribbled over during the kexec fails loudly instead of restoring
+        a silently-wrong guest.
+        """
+        with tracer.span("pram.decode", "io"):
+            try:
+                return PRAMFilesystem._decode_frames(blob, memory, registry)
+            except PRAMError:
+                raise
+            except StateFormatError as exc:
+                raise PRAMError(f"corrupt PRAM encoding: {exc}") from exc
+
+    @staticmethod
+    def _decode_frames(blob: bytes, memory: PhysicalMemory,
+                       registry: Optional[MetricsRegistry]) -> "PRAMFilesystem":
+        reader = FrameReader(blob, StreamMeter("pram", registry))
+        first = reader.read()
+        if first is None or first[0] != _FRAME_HEADER:
+            raise PRAMError("PRAM stream does not start with a header frame")
+        header = Unpacker(first[1])
+        file_count = header.u32()
+        has_contents = bool(header.u8())
+        header.expect_end()
         fs = PRAMFilesystem(memory)
-        for _ in range(unpacker.u32()):
-            name = unpacker.raw(unpacker.u16()).decode()
-            page_size = unpacker.u32()
-            mode = unpacker.u32()
-            entries = [
-                PageEntry.unpacked(unpacker.u64())
-                for _ in range(unpacker.u32())
-            ]
-            guest_layout: Dict[int, int] = {}
-            if entries:
-                expansion = page_size // entries[0].byte_size
-                for entry in entries:
-                    if entry.gfn % expansion == 0:
-                        guest_layout[entry.gfn // expansion] = entry.mfn
-            pram_file = PRAMFile(name=name, page_size=page_size,
-                                 entries=entries, guest_layout=guest_layout,
-                                 mode=mode)
-            fs.files[name] = pram_file
-        unpacker.expect_end()
+        pages_decoder = PageStreamDecoder() if has_contents else None
+        for frame_type, payload in reader.frames():
+            if frame_type == _FRAME_FILE:
+                unpacker = Unpacker(payload)
+                name = unpacker.raw(unpacker.u16()).decode()
+                page_size = unpacker.u32()
+                mode = unpacker.u32()
+                entries = [
+                    PageEntry(gfn=gfn, mfn=mfn, order=order)
+                    for gfn, mfn, order in decode_entry_records(
+                        unpacker.raw(unpacker.remaining))
+                ]
+                guest_layout: Dict[int, int] = {}
+                if entries:
+                    expansion = page_size // entries[0].byte_size
+                    for entry in entries:
+                        if entry.gfn % expansion == 0:
+                            guest_layout[entry.gfn // expansion] = entry.mfn
+                if name in fs.files:
+                    raise PRAMError(f"duplicate PRAM file {name!r}")
+                fs.files[name] = PRAMFile(
+                    name=name, page_size=page_size, entries=entries,
+                    guest_layout=guest_layout, mode=mode)
+            elif frame_type == _FRAME_CONTENTS:
+                if pages_decoder is None:
+                    raise PRAMError(
+                        "CONTENTS frame in a stream whose header declared none")
+                unpacker = Unpacker(payload)
+                name = unpacker.raw(unpacker.u16()).decode()
+                pram_file = fs.files.get(name)
+                if pram_file is None:
+                    raise PRAMError(
+                        f"CONTENTS frame for unknown PRAM file {name!r}")
+                records = pages_decoder.decode_batch(
+                    unpacker.raw(unpacker.remaining))
+                for gfn, digest in records:
+                    mfn = pram_file.guest_layout.get(gfn)
+                    if mfn is None:
+                        raise PRAMError(
+                            f"content record for unmapped gfn {gfn} in "
+                            f"PRAM file {name!r}")
+                    if memory.read(mfn) != digest:
+                        raise PRAMError(
+                            f"content digest mismatch for gfn {gfn} of "
+                            f"{name!r}: frame was modified across the kexec")
+            else:
+                raise PRAMError(f"unknown PRAM frame type {frame_type}")
+        reader.expect_end()
+        if len(fs.files) != file_count:
+            raise PRAMError(
+                f"PRAM stream carried {len(fs.files)} files, "
+                f"header declared {file_count}")
         return fs
 
     # -- teardown ------------------------------------------------------------

@@ -5,14 +5,17 @@ across the micro-reboot, MigrationTP streams them through the proxy pair.
 The codec is self-describing enough to fail loudly on corruption, and its
 output size is what Fig. 14 reports as "UISR formats" overhead.
 
-Layout: magic, version, VM identity, then sections for vCPUs, platform,
-memory map and devices.  Integers are little-endian fixed width (XDR-like
-spirit, LE for consistency with the rest of the library).
+Every encoded document travels as one ``repro.io`` frame (CRC32-checked,
+END-terminated), so a bit flip anywhere in the blob raises before the body
+is even parsed.  Body layout: magic, version, VM identity, then sections
+for vCPUs, platform, memory map and devices.  Integers are little-endian
+fixed width (XDR-like spirit, LE for consistency with the rest of the
+library).
 """
 
-from typing import List
+from typing import List, Optional
 
-from repro.errors import UISRError
+from repro.errors import StateFormatError, UISRError
 from repro.guest.devices import (
     IOAPICPin,
     IOAPICState,
@@ -23,7 +26,9 @@ from repro.guest.devices import (
     XSAVEState,
 )
 from repro.guest.vcpu import SegmentDescriptor, VCPUState
-from repro.hypervisors.state import Packer, Unpacker
+from repro.io.frames import FrameReader, FrameWriter, Packer, StreamMeter, Unpacker
+from repro.obs import NULL_TRACER
+from repro.obs.metrics import MetricsRegistry
 from repro.core.uisr.format import (
     UISRDeviceState,
     UISRMemoryChunk,
@@ -34,6 +39,9 @@ from repro.core.uisr.format import (
 )
 
 UISR_MAGIC = 0x55495352  # "UISR"
+
+#: frame type tag carrying one encoded UISR document body.
+UISR_DOC_FRAME = 1
 
 
 def _pack_str(packer: Packer, text: str) -> None:
@@ -214,31 +222,61 @@ def _unpack_memory_map(unpacker: Unpacker) -> UISRMemoryMap:
                          chunks=chunks)
 
 
-def encode_uisr(state: UISRVMState) -> bytes:
-    """Serialize a UISR document to bytes."""
-    packer = Packer()
-    packer.u32(UISR_MAGIC).u32(state.version)
-    _pack_str(packer, state.vm_name)
-    packer.u32(state.vcpu_count)
-    packer.u64(state.memory_bytes)
-    _pack_str(packer, state.source_hypervisor)
-    packer.u32(len(state.vcpus))
-    for record in state.vcpus:
-        _pack_vcpu(packer, record.vcpu)
-    _pack_platform(packer, state.platform.platform)
-    _pack_memory_map(packer, state.memory_map)
-    packer.u32(len(state.devices))
-    for device in state.devices:
-        _pack_str(packer, device.name)
-        _pack_str(packer, device.device_class)
-        _pack_str(packer, device.strategy)
-        packer.u32(len(device.payload)).raw(device.payload)
-    return packer.bytes()
+def encode_uisr(state: UISRVMState,
+                registry: Optional[MetricsRegistry] = None,
+                tracer=NULL_TRACER) -> bytes:
+    """Serialize a UISR document to one framed, CRC-checked stream."""
+    with tracer.span("uisr.encode", "io"):
+        packer = Packer()
+        packer.u32(UISR_MAGIC).u32(state.version)
+        _pack_str(packer, state.vm_name)
+        packer.u32(state.vcpu_count)
+        packer.u64(state.memory_bytes)
+        _pack_str(packer, state.source_hypervisor)
+        packer.u32(len(state.vcpus))
+        for record in state.vcpus:
+            _pack_vcpu(packer, record.vcpu)
+        _pack_platform(packer, state.platform.platform)
+        _pack_memory_map(packer, state.memory_map)
+        packer.u32(len(state.devices))
+        for device in state.devices:
+            _pack_str(packer, device.name)
+            _pack_str(packer, device.device_class)
+            _pack_str(packer, device.strategy)
+            packer.u32(len(device.payload)).raw(device.payload)
+        writer = FrameWriter(StreamMeter("uisr", registry))
+        writer.frame(UISR_DOC_FRAME, packer.bytes())
+        return writer.finish()
 
 
-def decode_uisr(blob: bytes) -> UISRVMState:
-    """Parse a UISR document from bytes."""
-    unpacker = Unpacker(blob)
+def _unwrap_envelope(blob: bytes,
+                     registry: Optional[MetricsRegistry]) -> bytes:
+    """Strip and verify the frame envelope; returns the document body."""
+    try:
+        reader = FrameReader(blob, StreamMeter("uisr", registry))
+        first = reader.read()
+        if first is None:
+            raise UISRError("empty UISR stream")
+        frame_type, body = first
+        if frame_type != UISR_DOC_FRAME:
+            raise UISRError(f"unexpected UISR frame type {frame_type}")
+        if reader.read() is not None:
+            raise UISRError("multiple frames in UISR stream")
+        reader.expect_end()
+    except UISRError:
+        raise
+    except StateFormatError as exc:
+        raise UISRError(f"corrupt UISR envelope: {exc}") from exc
+    return body
+
+
+def decode_uisr(blob: bytes,
+                registry: Optional[MetricsRegistry] = None,
+                tracer=NULL_TRACER) -> UISRVMState:
+    """Parse a UISR document from its framed encoding."""
+    with tracer.span("uisr.decode", "io"):
+        body = _unwrap_envelope(blob, registry)
+    unpacker = Unpacker(body)
     magic = unpacker.u32()
     if magic != UISR_MAGIC:
         raise UISRError(f"bad UISR magic {magic:#x}")

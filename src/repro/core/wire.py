@@ -5,11 +5,16 @@ during a (heterogeneous) live migration: a negotiation header, one message
 per pre-copy round carrying page batches, the UISR document for the VM_i
 State, and a completion handshake with an end-to-end digest.
 
-Guest page *contents* are represented by their digests (as everywhere in
-the simulation); the protocol itself is byte-exact, so malformed or
-reordered streams fail loudly, and the destination reconstructs the guest
-image purely from what arrived on the wire — the digest check at the end is
-a real end-to-end property, not bookkeeping.
+Every message rides a ``repro.io`` frame (magic, version, type tag,
+length, CRC32 trailer), and PAGES payloads go through the shared
+:mod:`repro.io.pages` batch encoder: consecutive GFNs run-length
+coalesce, and a page whose content digest already crossed this stream is
+sent as a back-reference, not a second copy.  Guest page *contents* are
+represented by their digests (as everywhere in the simulation); the
+protocol itself is byte-exact, so malformed or reordered streams fail
+loudly, and the destination reconstructs the guest image purely from
+what arrived on the wire — the digest check at the end is a real
+end-to-end property, not bookkeeping.
 """
 
 import enum
@@ -17,9 +22,18 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import MigrationError, StateFormatError
-from repro.hypervisors.state import Packer, Unpacker
+from repro.io.frames import (
+    END_FRAME,
+    Packer,
+    StreamMeter,
+    Unpacker,
+    decode_frame,
+    encode_frame,
+)
+from repro.io.pages import DedupStats, PageStreamDecoder, PageStreamEncoder
+from repro.obs import NULL_TRACER
+from repro.obs.metrics import MetricsRegistry
 
-WIRE_MAGIC = 0x48545031  # "HTP1"
 WIRE_VERSION = 1
 
 
@@ -77,101 +91,153 @@ Message = object  # union of the dataclasses above
 MAX_BATCH_PAGES = 1024
 
 
-def _frame(msg_type: MessageType, payload: bytes) -> bytes:
-    packer = Packer()
-    packer.u32(WIRE_MAGIC).u8(msg_type.value)
-    packer.u32(len(payload)).raw(payload)
-    return packer.bytes()
+class WireEncoder:
+    """Stateful message encoder for one stream direction.
+
+    Holds the stream-scoped page digest table, so identical-content
+    pages dedup across batches and across pre-copy rounds.
+    """
+
+    def __init__(self, meter: Optional[StreamMeter] = None):
+        self._pages = PageStreamEncoder(meter)
+        self._meter = meter
+
+    @property
+    def page_stats(self) -> DedupStats:
+        return self._pages.stats
+
+    def encode(self, message: Message) -> bytes:
+        """Serialize one protocol message to its wire frame."""
+        packer = Packer()
+        if isinstance(message, Hello):
+            name = message.vm_name.encode()
+            packer.u32(WIRE_VERSION)
+            packer.u16(len(name)).raw(name)
+            src = message.source_hypervisor.encode()
+            dst = message.target_hypervisor.encode()
+            packer.u8(len(src)).raw(src)
+            packer.u8(len(dst)).raw(dst)
+            packer.u32(message.vcpus)
+            packer.u64(message.memory_bytes)
+            packer.u32(message.page_size)
+            return self._frame(MessageType.HELLO, packer.bytes())
+        if isinstance(message, RoundHeader):
+            packer.u32(message.index).u64(message.page_count)
+            return self._frame(MessageType.ROUND, packer.bytes())
+        if isinstance(message, PageBatch):
+            if len(message.pages) > MAX_BATCH_PAGES:
+                raise MigrationError(
+                    f"page batch too large: {len(message.pages)}"
+                )
+            return self._frame(MessageType.PAGES,
+                               self._pages.encode_batch(message.pages))
+        if isinstance(message, UISRPayload):
+            packer.u32(len(message.blob)).raw(message.blob)
+            return self._frame(MessageType.UISR, packer.bytes())
+        if isinstance(message, Done):
+            packer.u64(message.final_digest)
+            return self._frame(MessageType.DONE, packer.bytes())
+        raise MigrationError(f"unknown wire message {type(message).__name__}")
+
+    def _frame(self, msg_type: MessageType, payload: bytes) -> bytes:
+        frame = encode_frame(msg_type.value, payload)
+        if self._meter is not None:
+            self._meter.count_out(len(frame))
+        return frame
+
+
+class WireDecoder:
+    """Stateful message decoder mirroring :class:`WireEncoder`."""
+
+    def __init__(self, meter: Optional[StreamMeter] = None):
+        self._pages = PageStreamDecoder()
+        self._meter = meter
+
+    def decode(self, data: bytes, offset: int = 0) -> Tuple[Message, int]:
+        """Parse one frame at ``offset``; returns (message, consumed)."""
+        frame_type, payload, consumed = decode_frame(data, offset)
+        if self._meter is not None:
+            self._meter.count_in(consumed)
+        if frame_type == END_FRAME:
+            raise StateFormatError(
+                "unexpected END frame on the migration wire"
+            )
+        try:
+            msg_type = MessageType(frame_type)
+        except ValueError as exc:
+            raise StateFormatError(
+                f"unknown wire message type: {exc}"
+            ) from exc
+
+        if msg_type is MessageType.PAGES:
+            pages = self._pages.decode_batch(payload)
+            if len(pages) > MAX_BATCH_PAGES:
+                raise StateFormatError(
+                    f"page batch too large: {len(pages)}"
+                )
+            return PageBatch(pages=tuple(pages)), consumed
+
+        body = Unpacker(payload)
+        if msg_type is MessageType.HELLO:
+            version = body.u32()
+            if version != WIRE_VERSION:
+                raise StateFormatError(f"unsupported wire version {version}")
+            vm_name = body.raw(body.u16()).decode()
+            src = body.raw(body.u8()).decode()
+            dst = body.raw(body.u8()).decode()
+            message = Hello(
+                vm_name=vm_name, source_hypervisor=src,
+                target_hypervisor=dst, vcpus=body.u32(),
+                memory_bytes=body.u64(), page_size=body.u32(),
+            )
+        elif msg_type is MessageType.ROUND:
+            message = RoundHeader(index=body.u32(), page_count=body.u64())
+        elif msg_type is MessageType.UISR:
+            message = UISRPayload(blob=body.raw(body.u32()))
+        else:
+            message = Done(final_digest=body.u64())
+        body.expect_end()
+        return message, consumed
 
 
 def encode_message(message: Message) -> bytes:
-    """Serialize one protocol message to its wire frame."""
-    packer = Packer()
-    if isinstance(message, Hello):
-        name = message.vm_name.encode()
-        packer.u32(WIRE_VERSION)
-        packer.u16(len(name)).raw(name)
-        src = message.source_hypervisor.encode()
-        dst = message.target_hypervisor.encode()
-        packer.u8(len(src)).raw(src)
-        packer.u8(len(dst)).raw(dst)
-        packer.u32(message.vcpus)
-        packer.u64(message.memory_bytes)
-        packer.u32(message.page_size)
-        return _frame(MessageType.HELLO, packer.bytes())
-    if isinstance(message, RoundHeader):
-        packer.u32(message.index).u64(message.page_count)
-        return _frame(MessageType.ROUND, packer.bytes())
-    if isinstance(message, PageBatch):
-        if len(message.pages) > MAX_BATCH_PAGES:
-            raise MigrationError(
-                f"page batch too large: {len(message.pages)}"
-            )
-        packer.u32(len(message.pages))
-        for gfn, digest in message.pages:
-            packer.u64(gfn).u64(digest)
-        return _frame(MessageType.PAGES, packer.bytes())
-    if isinstance(message, UISRPayload):
-        packer.u32(len(message.blob)).raw(message.blob)
-        return _frame(MessageType.UISR, packer.bytes())
-    if isinstance(message, Done):
-        packer.u64(message.final_digest)
-        return _frame(MessageType.DONE, packer.bytes())
-    raise MigrationError(f"unknown wire message {type(message).__name__}")
+    """Serialize one message with a fresh (stream-less) encoder."""
+    return WireEncoder().encode(message)
 
 
 def decode_message(frame: bytes) -> Tuple[Message, int]:
-    """Parse one frame; returns (message, bytes consumed)."""
-    unpacker = Unpacker(frame)
-    magic = unpacker.u32()
-    if magic != WIRE_MAGIC:
-        raise StateFormatError(f"bad wire magic {magic:#x}")
-    try:
-        msg_type = MessageType(unpacker.u8())
-    except ValueError as exc:
-        raise StateFormatError(f"unknown wire message type: {exc}") from exc
-    payload = unpacker.raw(unpacker.u32())
-    consumed = len(frame) - unpacker.remaining
-    body = Unpacker(payload)
-
-    if msg_type is MessageType.HELLO:
-        version = body.u32()
-        if version != WIRE_VERSION:
-            raise StateFormatError(f"unsupported wire version {version}")
-        vm_name = body.raw(body.u16()).decode()
-        src = body.raw(body.u8()).decode()
-        dst = body.raw(body.u8()).decode()
-        message = Hello(
-            vm_name=vm_name, source_hypervisor=src, target_hypervisor=dst,
-            vcpus=body.u32(), memory_bytes=body.u64(), page_size=body.u32(),
-        )
-    elif msg_type is MessageType.ROUND:
-        message = RoundHeader(index=body.u32(), page_count=body.u64())
-    elif msg_type is MessageType.PAGES:
-        count = body.u32()
-        pages = tuple((body.u64(), body.u64()) for _ in range(count))
-        message = PageBatch(pages=pages)
-    elif msg_type is MessageType.UISR:
-        message = UISRPayload(blob=body.raw(body.u32()))
-    else:
-        message = Done(final_digest=body.u64())
-    body.expect_end()
-    return message, consumed
+    """Parse one frame with a fresh (stream-less) decoder."""
+    return WireDecoder().decode(frame)
 
 
 class MigrationStream:
-    """An in-order, in-memory message channel between the two proxies."""
+    """An in-order, in-memory message channel between the two proxies.
 
-    def __init__(self):
+    The encoder/decoder pair is stream-scoped, so the page digest table
+    (and with it the dedup savings) spans every batch the stream carries.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 tracer=NULL_TRACER):
         self._buffer = bytearray()
         self.bytes_sent = 0
         self.messages_sent = 0
+        self.meter = StreamMeter("wire", registry)
+        self._encoder = WireEncoder(self.meter)
+        self._decoder = WireDecoder(self.meter)
+        self._tracer = tracer
+
+    @property
+    def page_stats(self) -> DedupStats:
+        """Dedup statistics for every page batch sent on this stream."""
+        return self._encoder.page_stats
 
     def send(self, message: Message) -> int:
-        frame = encode_message(message)
-        self._buffer.extend(frame)
-        self.bytes_sent += len(frame)
-        self.messages_sent += 1
+        with self._tracer.span("wire.send", "io"):
+            frame = self._encoder.encode(message)
+            self._buffer.extend(frame)
+            self.bytes_sent += len(frame)
+            self.messages_sent += 1
         return len(frame)
 
     def receive_all(self) -> Iterator[Message]:
@@ -180,7 +246,8 @@ class MigrationStream:
         self._buffer.clear()
         offset = 0
         while offset < len(view):
-            message, consumed = decode_message(view[offset:])
+            with self._tracer.span("wire.receive", "io"):
+                message, consumed = self._decoder.decode(view, offset)
             offset += consumed
             yield message
 

@@ -11,6 +11,7 @@ adds to both Xen and KVM so that kexec does not scribble over guest RAM
 (§4.2.4).
 """
 
+from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Set
 
@@ -58,13 +59,14 @@ class PhysicalMemory:
         self.total_base_frames = total_bytes // PAGE_4K
         self._free: List[_Region] = [_Region(0, self.total_base_frames)]
         self._allocated: Dict[int, Frame] = {}
+        self._allocated_bytes = 0
         self._pinned: Set[int] = set()
 
     # -- queries ---------------------------------------------------------
 
     @property
     def allocated_bytes(self) -> int:
-        return sum(f.size for f in self._allocated.values())
+        return self._allocated_bytes
 
     @property
     def free_bytes(self) -> int:
@@ -99,6 +101,7 @@ class PhysicalMemory:
                 self._carve(idx, start, base_frames)
                 frame = Frame(mfn=start, size=size, digest=digest)
                 self._allocated[start] = frame
+                self._allocated_bytes += size
                 return frame
         raise FrameAllocationError(
             f"out of memory: need {size} bytes, {self.free_bytes} free"
@@ -122,6 +125,7 @@ class PhysicalMemory:
         if mfn in self._pinned:
             raise FrameAllocationError(f"cannot free pinned frame mfn={mfn}")
         del self._allocated[mfn]
+        self._allocated_bytes -= frame.size
         self._insert_free(_Region(mfn, frame.size // PAGE_4K))
 
     # -- pinning (PRAM protection across kexec) ---------------------------
@@ -146,6 +150,7 @@ class PhysicalMemory:
         """
         survivors = {m: self._allocated[m] for m in self._pinned}
         self._allocated = survivors
+        self._allocated_bytes = sum(f.size for f in survivors.values())
         self._free = []
         cursor = 0
         for mfn in sorted(survivors):
@@ -188,13 +193,24 @@ class PhysicalMemory:
         self._free[idx:idx] = replacement
 
     def _insert_free(self, region: _Region) -> None:
-        # Keep the free list sorted and coalesced.
-        self._free.append(region)
-        self._free.sort(key=lambda r: r.start)
-        merged: List[_Region] = []
-        for r in self._free:
-            if merged and merged[-1].start + merged[-1].count == r.start:
-                merged[-1].count += r.count
-            else:
-                merged.append(_Region(r.start, r.count))
-        self._free = merged
+        # The free list is always sorted and coalesced, so a freed region
+        # needs only an ordered insert plus merges with its two direct
+        # neighbors — O(log n + n·move), not the former full re-sort and
+        # whole-list re-coalesce per free().
+        idx = bisect_left(self._free, region.start, key=lambda r: r.start)
+        if idx > 0:
+            prev = self._free[idx - 1]
+            if prev.start + prev.count == region.start:
+                prev.count += region.count
+                if (idx < len(self._free)
+                        and prev.start + prev.count == self._free[idx].start):
+                    prev.count += self._free[idx].count
+                    del self._free[idx]
+                return
+        if (idx < len(self._free)
+                and region.start + region.count == self._free[idx].start):
+            successor = self._free[idx]
+            successor.start = region.start
+            successor.count += region.count
+            return
+        self._free.insert(idx, region)

@@ -1,110 +1,11 @@
-"""Low-level binary packing helpers shared by both hypervisors' formats.
+"""Compatibility re-export of the binary packing helpers.
 
-Both Xen and KVM serialize VM state to bytes, but with different layouts;
-these helpers keep the encoders small while staying byte-exact (so sizes
-reported in Fig. 14 are measured, and malformed blobs fail loudly).
+The :class:`Packer`/:class:`Unpacker` pair grew into the ``repro.io``
+streaming frame layer and lives in :mod:`repro.io.frames` now; this
+module keeps the historical import path working for both hypervisors'
+format code.
 """
 
-import struct
-from typing import Iterable, List, Tuple
+from repro.io.frames import Packer, Unpacker
 
-from repro.errors import StateFormatError
-
-
-class Packer:
-    """Append-only binary writer."""
-
-    def __init__(self):
-        self._parts: List[bytes] = []
-
-    def u8(self, value: int) -> "Packer":
-        return self._pack("<B", value)
-
-    def u16(self, value: int) -> "Packer":
-        return self._pack("<H", value)
-
-    def u32(self, value: int) -> "Packer":
-        return self._pack("<I", value)
-
-    def u64(self, value: int) -> "Packer":
-        return self._pack("<Q", value)
-
-    def i64(self, value: int) -> "Packer":
-        return self._pack("<q", value)
-
-    def raw(self, data: bytes) -> "Packer":
-        self._parts.append(bytes(data))
-        return self
-
-    def u64_seq(self, values: Iterable[int]) -> "Packer":
-        values = list(values)
-        self.u32(len(values))
-        for value in values:
-            self.u64(value)
-        return self
-
-    def _pack(self, fmt: str, value: int) -> "Packer":
-        try:
-            self._parts.append(struct.pack(fmt, value))
-        except struct.error as exc:
-            raise StateFormatError(f"cannot pack {value!r} as {fmt}: {exc}") from exc
-        return self
-
-    def bytes(self) -> bytes:
-        return b"".join(self._parts)
-
-    def __len__(self) -> int:
-        return sum(len(p) for p in self._parts)
-
-
-class Unpacker:
-    """Sequential binary reader with bounds checking."""
-
-    def __init__(self, data: bytes):
-        self._data = data
-        self._offset = 0
-
-    @property
-    def remaining(self) -> int:
-        return len(self._data) - self._offset
-
-    def u8(self) -> int:
-        return self._unpack("<B", 1)
-
-    def u16(self) -> int:
-        return self._unpack("<H", 2)
-
-    def u32(self) -> int:
-        return self._unpack("<I", 4)
-
-    def u64(self) -> int:
-        return self._unpack("<Q", 8)
-
-    def i64(self) -> int:
-        return self._unpack("<q", 8)
-
-    def raw(self, length: int) -> bytes:
-        if length < 0 or self.remaining < length:
-            raise StateFormatError(
-                f"truncated blob: want {length} bytes, have {self.remaining}"
-            )
-        chunk = self._data[self._offset:self._offset + length]
-        self._offset += length
-        return chunk
-
-    def u64_seq(self) -> Tuple[int, ...]:
-        count = self.u32()
-        return tuple(self.u64() for _ in range(count))
-
-    def expect_end(self) -> None:
-        if self.remaining:
-            raise StateFormatError(f"{self.remaining} trailing bytes in blob")
-
-    def _unpack(self, fmt: str, size: int):
-        if self.remaining < size:
-            raise StateFormatError(
-                f"truncated blob: want {size} bytes, have {self.remaining}"
-            )
-        (value,) = struct.unpack_from(fmt, self._data, self._offset)
-        self._offset += size
-        return value
+__all__ = ["Packer", "Unpacker"]

@@ -501,6 +501,7 @@ class TestEngineAndReporters:
         assert names == {
             "codec-symmetry",
             "exception-hygiene",
+            "io-format-hygiene",
             "registry-completeness",
             "sim-clock-hygiene",
             "span-hygiene",
@@ -672,4 +673,52 @@ class TestTraceFormatHygiene:
             {"obs/trace.py": 'E = {"ph": "X", "ts": 0}\n'},
             rules=["trace-format-hygiene"],
         )
+        assert findings == []
+
+
+# -- io-format-hygiene --------------------------------------------------------
+
+class TestIOFormatHygiene:
+    def test_struct_call_outside_io_flagged(self):
+        sources = {
+            "core/wire.py": textwrap.dedent(
+                """
+                import struct
+
+                def frame(payload):
+                    return struct.pack("<I", len(payload)) + payload
+                """
+            ),
+        }
+        findings, _ = analyze(sources, rules=["io-format-hygiene"])
+        assert len(findings) == 1
+        assert findings[0].path == "core/wire.py"
+        assert findings[0].line == 5
+        assert "struct.pack" in findings[0].message
+
+    def test_from_import_alias_resolved(self):
+        sources = {
+            "hypervisors/xen.py": "from struct import unpack\n\n"
+                                  "def parse(blob):\n"
+                                  "    return unpack('<Q', blob)\n",
+        }
+        findings, _ = analyze(sources, rules=["io-format-hygiene"])
+        assert len(findings) == 1
+        assert findings[0].line == 4
+
+    def test_io_package_is_exempt(self):
+        sources = {
+            "io/frames.py": "import struct\n\n"
+                            "def header(t, n):\n"
+                            "    return struct.pack('<IBBI', 1, 1, t, n)\n",
+        }
+        findings, _ = analyze(sources, rules=["io-format-hygiene"])
+        assert findings == []
+
+    def test_unrelated_calls_are_clean(self):
+        sources = {
+            "core/pram.py": "def encode(parts):\n"
+                            "    return b''.join(parts)\n",
+        }
+        findings, _ = analyze(sources, rules=["io-format-hygiene"])
         assert findings == []

@@ -150,3 +150,32 @@ class TestAblationBench:
         assert by_label["all disabled"][1] > by_label["-huge_pages"][1]
         for label in ("-prepare_ahead", "-parallel", "-early_restoration"):
             assert by_label[label][1] > baseline
+
+
+class TestIOThroughputBench:
+    def test_smoke_sweep_shape(self, tmp_path):
+        import json
+
+        bench = load_bench("bench_io_throughput")
+        results, walls = bench.run(smoke=True)
+        assert [entry["pages"] for entry in results["pages"]] == [512, 512]
+        dup_heavy, unique = results["pages"]
+        assert dup_heavy["dedup_ratio"] > 1.0
+        assert dup_heavy["dedup_hits"] > 0
+        assert unique["dedup_hits"] == 0
+        assert dup_heavy["encoded_bytes"] < unique["encoded_bytes"]
+        for entry in results["pram_entries"]:
+            assert entry["coalesce_ratio"] > 1.0
+        path = bench.write_json(results, tmp_path / "BENCH_io_throughput.json")
+        document = json.loads(Path(path).read_text())
+        assert document["format"] == "hypertp-bench-io-throughput"
+
+    def test_json_is_deterministic(self, tmp_path):
+        # Acceptance bar: byte-identical artifacts across two seeded runs
+        # (no wall-clock values may leak into the JSON document).
+        bench = load_bench("bench_io_throughput")
+        first = Path(bench.write_json(bench.run(smoke=True)[0],
+                                      tmp_path / "first.json"))
+        second = Path(bench.write_json(bench.run(smoke=True)[0],
+                                       tmp_path / "second.json"))
+        assert first.read_bytes() == second.read_bytes()

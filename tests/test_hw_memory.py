@@ -143,3 +143,53 @@ def test_mixed_sizes_coexist():
     memory.free(big.mfn)
     memory.free(small.mfn)
     assert memory.free_bytes == memory.total_bytes
+
+
+def test_free_list_stays_sorted_and_coalesced():
+    # Fragmentation regression: the allocator promises a sorted, fully
+    # coalesced free list after any interleaving of allocs and frees —
+    # the bisect insert with neighbor-only merge must uphold it.
+    memory = PhysicalMemory(64 * MIB)
+    frames = [memory.allocate() for _ in range(128)]
+    for frame in frames[::3] + frames[1::3] + frames[2::3]:
+        memory.free(frame.mfn)
+        regions = memory._free
+        assert all(regions[i].start + regions[i].count < regions[i + 1].start
+                   for i in range(len(regions) - 1)), "unsorted or adjacent"
+    assert len(memory._free) == 1
+    assert memory._free[0].count == memory.total_base_frames
+
+
+def test_interleaved_free_merges_both_neighbors():
+    memory = PhysicalMemory(8 * PAGE_4K)
+    a, b, c = (memory.allocate() for _ in range(3))
+    memory.free(a.mfn)
+    memory.free(c.mfn)
+    assert len(memory._free) == 2  # [a] and [c..end]
+    memory.free(b.mfn)  # bridges both neighbors into one region
+    assert len(memory._free) == 1
+    assert memory.free_bytes == memory.total_bytes
+
+
+def test_allocated_bytes_counter_tracks_churn():
+    memory = PhysicalMemory(64 * MIB)
+    live = []
+    for round_index in range(4):
+        live.extend(memory.allocate() for _ in range(16))
+        live.append(memory.allocate(size=PAGE_2M))
+        for frame in live[::2]:
+            memory.free(frame.mfn)
+        live = live[1::2]
+        expected = sum(f.size for f in memory.allocated_frames())
+        assert memory.allocated_bytes == expected
+
+
+def test_allocated_bytes_after_reset_except_pinned():
+    memory = PhysicalMemory(16 * MIB)
+    for _ in range(8):
+        memory.allocate()
+    keep = memory.allocate(size=PAGE_2M)
+    memory.pin(keep.mfn)
+    memory.reset_except_pinned()
+    assert memory.allocated_bytes == PAGE_2M
+    assert memory.free_bytes == memory.total_bytes - PAGE_2M

@@ -5,7 +5,13 @@ import json
 import pytest
 
 from repro.errors import PlanningError, ReproError
-from repro.cluster import export_plan, import_plan, summarize_plan
+from repro.cluster import (
+    decode_plan,
+    encode_plan,
+    export_plan,
+    import_plan,
+    summarize_plan,
+)
 from repro.cluster.btrplace import BtrPlacePlanner
 from repro.cluster.executor import PlanExecutor
 from repro.cluster.model import build_paper_cluster
@@ -77,3 +83,42 @@ class TestPercentiles:
             MetricSeries("m", "x").percentile(0.5)
         with pytest.raises(ReproError):
             self._series().percentile(1.5)
+
+
+class TestPlanBlobCodec:
+    """The framed binary envelope layered over the JSON export."""
+
+    def _plan(self):
+        cluster = build_paper_cluster(inplace_fraction=0.5)
+        return BtrPlacePlanner(cluster).plan()
+
+    def test_blob_roundtrip(self):
+        plan = self._plan()
+        restored = decode_plan(encode_plan(plan))
+        assert restored.migration_count == plan.migration_count
+        assert len(restored.groups) == len(plan.groups)
+
+    def test_blob_is_deterministic(self):
+        plan = self._plan()
+        assert encode_plan(plan) == encode_plan(plan)
+
+    def test_trailing_bytes_rejected(self):
+        blob = encode_plan(self._plan())
+        with pytest.raises(PlanningError, match="trailing"):
+            decode_plan(blob + b"x")
+
+    def test_corruption_rejected(self):
+        blob = bytearray(encode_plan(self._plan()))
+        blob[len(blob) // 2] ^= 0xFF
+        with pytest.raises(PlanningError, match="corrupt"):
+            decode_plan(bytes(blob))
+
+    def test_version_checked(self):
+        from repro.io import FrameWriter
+        from repro.io.frames import Packer
+        from repro.cluster.serialize import PLAN_DOC_FRAME
+
+        writer = FrameWriter()
+        writer.frame(PLAN_DOC_FRAME, Packer().u32(99).u32(0).bytes())
+        with pytest.raises(PlanningError, match="version"):
+            decode_plan(writer.finish())
