@@ -1,0 +1,92 @@
+"""Finding baselines: accept today's debt, fail only on *new* findings.
+
+A baseline file is committed JSON listing the stable fingerprints (see
+:meth:`~repro.analysis.findings.Finding.fingerprint`) of known findings::
+
+    {"version": 1, "findings": [{"id": ..., "rule": ..., "path": ...,
+                                 "symbol": ..., "message": ...}, ...]}
+
+CI runs ``repro lint --baseline lint-baseline.json --strict``: findings
+whose fingerprint appears in the baseline are reported separately and do
+not fail the build; anything new does.  ``--write-baseline`` regenerates
+the file (sorted by id, trailing newline) so it is byte-deterministic and
+diffs cleanly.
+"""
+
+import json
+from typing import FrozenSet, List, Tuple
+
+from repro.errors import ReproError
+from repro.analysis.findings import Finding
+
+BASELINE_VERSION = 1
+
+
+class BaselineError(ReproError):
+    """Raised for an unreadable or malformed baseline file."""
+
+
+def render_baseline(findings: List[Finding]) -> str:
+    """The canonical baseline text for ``findings`` (deterministic)."""
+    entries = sorted(
+        (
+            {
+                "id": finding.fingerprint(),
+                "rule": finding.rule,
+                "path": finding.path,
+                "symbol": finding.symbol,
+                "message": finding.message,
+            }
+            for finding in findings
+        ),
+        key=lambda entry: (entry["id"], entry["path"], entry["message"]),
+    )
+    return json.dumps(
+        {"version": BASELINE_VERSION, "findings": entries},
+        indent=2, sort_keys=True,
+    ) + "\n"
+
+
+def write_baseline(path: str, findings: List[Finding]) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(render_baseline(findings))
+
+
+def load_baseline(path: str) -> FrozenSet[str]:
+    """The set of baselined finding IDs in ``path``."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        raise BaselineError(f"cannot read baseline {path!r}: {exc}") from exc
+    except ValueError as exc:
+        raise BaselineError(
+            f"baseline {path!r} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) \
+            or payload.get("version") != BASELINE_VERSION \
+            or not isinstance(payload.get("findings"), list):
+        raise BaselineError(
+            f"baseline {path!r} is not a version-{BASELINE_VERSION} "
+            f"baseline document"
+        )
+    ids = set()
+    for entry in payload["findings"]:
+        if not isinstance(entry, dict) or "id" not in entry:
+            raise BaselineError(
+                f"baseline {path!r} has an entry without an id")
+        ids.add(str(entry["id"]))
+    return frozenset(ids)
+
+
+def partition(findings: List[Finding],
+              baseline_ids: FrozenSet[str]
+              ) -> Tuple[List[Finding], List[Finding]]:
+    """Split findings into (new, baselined) by fingerprint."""
+    new: List[Finding] = []
+    baselined: List[Finding] = []
+    for finding in findings:
+        if finding.fingerprint() in baseline_ids:
+            baselined.append(finding)
+        else:
+            new.append(finding)
+    return new, baselined

@@ -10,6 +10,7 @@ line or on the line directly above it.  Trailing prose after the rule list
 is encouraged — a suppression without a reason is a smell.
 """
 
+import hashlib
 import re
 from dataclasses import dataclass
 from enum import Enum
@@ -40,8 +41,18 @@ class Finding:
     #: the enclosing function/class name, when the rule knows it
     symbol: str = ""
 
+    def fingerprint(self) -> str:
+        """A stable finding ID for baselines and SARIF.
+
+        Hashes rule, path, symbol and message — but *not* the line
+        number, so unrelated edits that shift code do not churn IDs.
+        """
+        blob = "\x1f".join((self.rule, self.path, self.symbol, self.message))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
     def to_dict(self) -> Dict[str, object]:
         return {
+            "id": self.fingerprint(),
             "rule": self.rule,
             "severity": self.severity.value,
             "path": self.path,

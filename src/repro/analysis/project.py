@@ -11,7 +11,7 @@ import ast
 import fnmatch
 import os
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 
 @dataclass
@@ -54,8 +54,7 @@ class Project:
                     continue
                 full = os.path.join(dirpath, filename)
                 rel = os.path.relpath(full, root).replace(os.sep, "/")
-                with open(full, "r", encoding="utf-8") as handle:
-                    modules.append(SourceModule.parse(rel, handle.read()))
+                modules.append(_load_cached(full, rel))
         return cls(modules, root=root)
 
     @classmethod
@@ -73,6 +72,35 @@ class Project:
             if any(fnmatch.fnmatch(module.path, pattern)
                    for pattern in patterns)
         ]
+
+
+# -- parse cache --------------------------------------------------------------
+#
+# Every rule shares one Project, but the CLI (multi-root scans) and the
+# test-suite's live-tree checks build several Projects over the same files;
+# parsing dominates a lint run, so directory loads go through a process-wide
+# cache keyed by (absolute path, project-relative path) and invalidated by
+# mtime/size.  In-memory fixtures (``from_sources``) never touch the cache.
+
+_PARSE_CACHE: Dict[Tuple[str, str], Tuple[int, int, SourceModule]] = {}
+
+
+def _load_cached(full: str, rel: str) -> SourceModule:
+    stat = os.stat(full)
+    key = (os.path.abspath(full), rel)
+    cached = _PARSE_CACHE.get(key)
+    if cached is not None and cached[0] == stat.st_mtime_ns \
+            and cached[1] == stat.st_size:
+        return cached[2]
+    with open(full, "r", encoding="utf-8") as handle:
+        module = SourceModule.parse(rel, handle.read())
+    _PARSE_CACHE[key] = (stat.st_mtime_ns, stat.st_size, module)
+    return module
+
+
+def clear_parse_cache() -> None:
+    """Drop the process-wide parse cache (tests use this for isolation)."""
+    _PARSE_CACHE.clear()
 
 
 # -- AST helpers shared by the rules -----------------------------------------

@@ -7,9 +7,12 @@ import it below (see ``docs/static-analysis.md``).
 
 from repro.analysis.rules import (  # noqa: F401
     codec_symmetry,
+    frame_symmetry,
     hygiene,
     io_hygiene,
     obs_hygiene,
     registry_complete,
+    state_machine,
+    sync_protocol,
     uisr_coverage,
 )

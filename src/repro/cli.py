@@ -154,9 +154,20 @@ def build_parser() -> argparse.ArgumentParser:
                       help="package directories to analyze (default: the "
                            "installed repro package)")
     lint.add_argument("--strict", action="store_true",
-                      help="exit non-zero when any finding is reported")
+                      help="exit non-zero when any non-baselined finding "
+                           "is reported")
+    lint.add_argument("--format", dest="format",
+                      choices=("text", "json", "sarif"), default=None,
+                      help="output format (default: text)")
     lint.add_argument("--json", dest="as_json", action="store_true",
-                      help="emit findings as JSON instead of text")
+                      help="shorthand for --format json")
+    lint.add_argument("--baseline", metavar="FILE",
+                      help="accepted-findings file; findings whose stable "
+                           "id appears there are reported but never fail "
+                           "--strict")
+    lint.add_argument("--write-baseline", metavar="FILE",
+                      help="write the current findings as a baseline file "
+                           "and exit 0")
     lint.add_argument("--rule", action="append", metavar="NAME",
                       help="run only this rule (repeatable)")
     lint.add_argument("--list-rules", action="store_true",
@@ -466,11 +477,16 @@ def cmd_lint(args) -> int:
     import os
 
     from repro.analysis import (
+        BaselineError,
         Project,
         all_rules,
+        load_baseline,
+        partition,
         render_json,
+        render_sarif,
         render_text,
         run_analysis,
+        write_baseline,
     )
     from repro.analysis.engine import AnalysisError
 
@@ -504,10 +520,29 @@ def cmd_lint(args) -> int:
     except AnalysisError as error:
         print(f"lint: {error}", file=sys.stderr)
         return 2
-    if args.as_json:
-        print(render_json(findings, suppressed))
+
+    if args.write_baseline:
+        write_baseline(args.write_baseline, findings)
+        print(f"lint: baseline with {len(findings)} finding(s) written "
+              f"to {args.write_baseline}", file=sys.stderr)
+        return 0
+
+    baselined = []
+    if args.baseline:
+        try:
+            baseline_ids = load_baseline(args.baseline)
+        except BaselineError as error:
+            print(f"lint: {error}", file=sys.stderr)
+            return 2
+        findings, baselined = partition(findings, baseline_ids)
+
+    fmt = args.format or ("json" if args.as_json else "text")
+    if fmt == "json":
+        print(render_json(findings, suppressed, len(baselined)))
+    elif fmt == "sarif":
+        print(render_sarif(findings, suppressed, len(baselined)))
     else:
-        print(render_text(findings, suppressed))
+        print(render_text(findings, suppressed, len(baselined)))
     if findings and args.strict:
         return 1
     return 0

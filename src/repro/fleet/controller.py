@@ -309,21 +309,21 @@ class FleetController:
     def _host_process(self, record: HostRecord, hp: _HostPlan):
         cfg = self.config
         yield self._wave_release[hp.wave]
-        yield self._admission.acquire()
-        ok = yield from self._evacuate(record, hp)
-        self._evac_latch[hp.wave].count_down()
-        if ok and cfg.sequential_groups:
-            # Fig. 13 semantics: the wave's micro-reboots start only once
-            # all of the wave's evacuations are done.
-            yield self._evac_latch[hp.wave]
-        if ok:
-            ok = yield from self._transplant(record, hp)
-        if ok:
-            ok = yield from self._verify(record, hp)
-        if ok:
-            record.transition(HostState.DONE, self._engine.now, self.trace)
-            self.host_hypervisor[hp.name] = self.target_kind.value
-        self._admission.release()
+        with self._admission.held() as admitted:
+            yield admitted
+            ok = yield from self._evacuate(record, hp)
+            self._evac_latch[hp.wave].count_down()
+            if ok and cfg.sequential_groups:
+                # Fig. 13 semantics: the wave's micro-reboots start only once
+                # all of the wave's evacuations are done.
+                yield self._evac_latch[hp.wave]
+            if ok:
+                ok = yield from self._transplant(record, hp)
+            if ok:
+                ok = yield from self._verify(record, hp)
+            if ok:
+                record.transition(HostState.DONE, self._engine.now, self.trace)
+                self.host_hypervisor[hp.name] = self.target_kind.value
         self._wave_done[hp.wave].count_down()
 
     def _evacuate(self, record: HostRecord, hp: _HostPlan):
@@ -334,14 +334,19 @@ class FleetController:
             gates = self._vm_gates[action.vm_name]
             if position > 0:
                 yield gates[position - 1]
-            yield self._vm_locks[action.vm_name].acquire()
-            if action.vm_name in self._aborted:
-                record.skipped_migrations += 1
-                self._vm_locks[action.vm_name].release()
+            with self._vm_locks[action.vm_name].held() as vm_lock:
+                yield vm_lock
+                skipped = action.vm_name in self._aborted
+                if skipped:
+                    record.skipped_migrations += 1
+                else:
+                    ok = yield from self._migrate_with_retry(record, action,
+                                                             position)
+            # The VM lock is returned here, before the chain gate fires or
+            # a rollback starts pulling VMs back.
+            if skipped:
                 gates[position].fire()
                 continue
-            ok = yield from self._migrate_with_retry(record, action, position)
-            self._vm_locks[action.vm_name].release()
             if not ok:
                 yield from self._roll_back(record, hp,
                                            remaining=hp.evacuations[index + 1:])
@@ -357,36 +362,38 @@ class FleetController:
         attempt = 0
         while True:
             yield self._ledger.reserve(action.destination)
-            yield self._link.acquire()
-            if stream.strikes(FailurePhase.EVACUATION):
-                # The transfer stalls; the watchdog kills it after the
-                # timeout, the fabric and the reserved slot free up.
-                yield cfg.stall_timeout_s
-                self._link.release()
-                self._ledger.release(action.destination)
-                record.transition(
-                    HostState.FAILED, self._engine.now, self.trace,
-                    reason=f"{FailurePhase.EVACUATION.value}:{action.vm_name}",
-                )
-                if self.retry.exhausted(attempt):
-                    self._abort_vm(action.vm_name)
-                    gates[position].fire()
-                    return False
-                record.transition(HostState.RETRYING, self._engine.now,
-                                  self.trace)
-                record.retries += 1
-                yield self.retry.backoff_s(attempt)
-                attempt += 1
-                record.transition(HostState.EVACUATING, self._engine.now,
-                                  self.trace)
-                continue
-            yield migration_action_time_s(action, self._link_rate, self.cost,
-                                          self.target_kind)
-            self._link.release()
-            self._commit_move(action.vm_name, action.source,
-                              action.destination)
-            gates[position].fire()
-            return True
+            with self._link.held() as link:
+                yield link
+                stalled = stream.strikes(FailurePhase.EVACUATION)
+                if stalled:
+                    # The transfer stalls; the watchdog kills it after the
+                    # timeout, the fabric and the reserved slot free up.
+                    yield cfg.stall_timeout_s
+                else:
+                    yield migration_action_time_s(action, self._link_rate,
+                                                  self.cost, self.target_kind)
+            # The fabric link is returned here on both outcomes.
+            if not stalled:
+                self._commit_move(action.vm_name, action.source,
+                                  action.destination)
+                gates[position].fire()
+                return True
+            self._ledger.release(action.destination)
+            record.transition(
+                HostState.FAILED, self._engine.now, self.trace,
+                reason=f"{FailurePhase.EVACUATION.value}:{action.vm_name}",
+            )
+            if self.retry.exhausted(attempt):
+                self._abort_vm(action.vm_name)
+                gates[position].fire()
+                return False
+            record.transition(HostState.RETRYING, self._engine.now,
+                              self.trace)
+            record.retries += 1
+            yield self.retry.backoff_s(attempt)
+            attempt += 1
+            record.transition(HostState.EVACUATING, self._engine.now,
+                              self.trace)
 
     def _transplant(self, record: HostRecord, hp: _HostPlan):
         cfg = self.config
@@ -462,22 +469,23 @@ class FleetController:
             if self.placement[vm] == hp.name:
                 continue
             # Serializes after any in-flight onward move of the same VM.
-            yield self._vm_locks[vm].acquire()
-            source = self.placement[vm]
-            if source != hp.name:
-                cluster_vm = self._cluster.vms[vm]
-                back = MigrationAction(
-                    vm_name=vm, source=source, destination=hp.name,
-                    memory_bytes=cluster_vm.memory_bytes,
-                    workload=cluster_vm.workload,
-                )
-                yield self._ledger.reserve(hp.name)
-                yield self._link.acquire()
-                yield migration_action_time_s(back, self._link_rate,
-                                              self.cost, self.source_kind)
-                self._link.release()
-                self._commit_move(vm, source, hp.name)
-            self._vm_locks[vm].release()
+            with self._vm_locks[vm].held() as vm_lock:
+                yield vm_lock
+                source = self.placement[vm]
+                if source != hp.name:
+                    cluster_vm = self._cluster.vms[vm]
+                    back = MigrationAction(
+                        vm_name=vm, source=source, destination=hp.name,
+                        memory_bytes=cluster_vm.memory_bytes,
+                        workload=cluster_vm.workload,
+                    )
+                    yield self._ledger.reserve(hp.name)
+                    with self._link.held() as link:
+                        yield link
+                        yield migration_action_time_s(back, self._link_rate,
+                                                      self.cost,
+                                                      self.source_kind)
+                    self._commit_move(vm, source, hp.name)
         record.rollbacks += 1
         record.transition(HostState.ROLLED_BACK, self._engine.now, self.trace,
                           reason="retries-exhausted")

@@ -118,6 +118,52 @@ class FifoSemaphore:
         else:
             self._free += 1
 
+    def held(self) -> "SemaphoreHold":
+        """Scope a permit to a ``with`` block.
+
+        ::
+
+            with sem.held() as granted:
+                yield granted       # park until the permit is ours
+                ...                 # critical section
+
+        The permit is returned (or the pending request withdrawn) when the
+        block exits — on normal fall-through, ``return``, and exception
+        unwinds alike, which is what makes release-on-exception structural
+        rather than a per-call-site obligation.
+        """
+        return SemaphoreHold(self)
+
+    def _settle(self, gate: Optional[Gate]) -> None:
+        """End a ``held()`` region: give the permit back, or withdraw a
+        request that was never granted (the process unwound while queued)."""
+        if gate is not None and not gate.fired:
+            self._queue.remove(gate)
+            return
+        self.release()
+
+
+class SemaphoreHold:
+    """Context manager tying one semaphore permit to a ``with`` scope."""
+
+    def __init__(self, sem: FifoSemaphore):
+        self._sem = sem
+        self._gate: Optional[Gate] = None
+        self._active = False
+
+    def __enter__(self) -> Gate:
+        if self._active:
+            raise FleetError("held() scope re-entered")
+        self._active = True
+        self._gate = self._sem.acquire()
+        return self._gate
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        gate, self._gate = self._gate, None
+        self._active = False
+        self._sem._settle(gate)
+        return False
+
 
 class FleetProcess:
     """Drives a generator that yields floats (sleep) or waitables (park).

@@ -501,10 +501,14 @@ class TestEngineAndReporters:
         assert names == {
             "codec-symmetry",
             "exception-hygiene",
+            "frame-protocol-symmetry",
             "io-format-hygiene",
             "registry-completeness",
             "sim-clock-hygiene",
             "span-hygiene",
+            "state-machine-conformance",
+            "sync-lock-order",
+            "sync-protocol",
             "trace-format-hygiene",
             "uisr-field-coverage",
         }

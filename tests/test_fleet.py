@@ -138,6 +138,55 @@ class TestSimSync:
         assert hits == [0.0]
 
 
+class TestSemaphoreHold:
+    def test_held_scope_releases_on_normal_exit(self):
+        engine = Engine(SimClock())
+        sem = FifoSemaphore(engine, 1)
+        order = []
+
+        def worker(name):
+            with sem.held() as gate:
+                yield gate
+                order.append(name)
+                yield 1.0
+
+        for name in ("a", "b", "c"):
+            FleetProcess(engine, worker(name), name=name).start()
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_held_scope_releases_on_exception(self):
+        engine = Engine(SimClock())
+        sem = FifoSemaphore(engine, 1)
+        with pytest.raises(ValueError):
+            with sem.held() as gate:
+                assert gate.fired
+                raise ValueError("boom")
+        # The permit came back: the next acquire is granted immediately.
+        assert sem.acquire().fired
+
+    def test_held_scope_withdraws_a_queued_request(self):
+        engine = Engine(SimClock())
+        sem = FifoSemaphore(engine, 1)
+        holder = sem.acquire()
+        assert holder.fired
+        with sem.held() as gate:
+            assert not gate.fired  # queued behind the holder
+        # Exiting withdrew the pending request rather than releasing a
+        # permit the scope never owned; the holder's release then frees
+        # the semaphore without tripping the over-release guard.
+        sem.release()
+        assert sem.acquire().fired
+
+    def test_held_scope_cannot_be_reentered(self):
+        engine = Engine(SimClock())
+        sem = FifoSemaphore(engine, None)
+        hold = sem.held()
+        with hold:
+            with pytest.raises(FleetError):
+                hold.__enter__()
+
+
 # -- state machine ------------------------------------------------------------
 
 class TestHostStateMachine:
