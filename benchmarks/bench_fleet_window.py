@@ -6,6 +6,13 @@ disclosure->remediated window distribution (p50/p95/p99/max) scales from 10
 to 1000 hosts, and how injected per-phase failures (kexec hang, migration
 stall, UISR verify mismatch) stretch the tail.
 
+Every cell of the sweep is an independent seeded campaign, so the sweep
+runs through :class:`repro.par.ParallelRunner` (``--workers N``); the
+deterministic payload of the emitted artifact is byte-identical for any
+worker count — wall-clock numbers live in the volatile ``meta`` block
+(see :mod:`repro.bench.report`).  ``--compare-serial`` runs the sweep
+both ways, asserts payload equality and records the speedup in ``meta``.
+
 Emits ``BENCH_fleet_window.json`` next to this file (override with
 ``--json PATH``); ``--smoke`` restricts to the 10-host column for CI.
 A wall-clock guard asserts the 1000-host run stays sub-superlinear — the
@@ -14,17 +21,12 @@ than 10000x the wall time.
 """
 
 import argparse
-import json
+import os
 import time
 from pathlib import Path
 
-from repro.bench.report import format_table, print_experiment
-from repro.fleet import (
-    FailureInjector,
-    FleetConfig,
-    FleetController,
-    RetryPolicy,
-)
+from repro.bench.report import format_table, print_experiment, write_bench_json
+from repro.par import ParallelRunner
 
 FLEET_SIZES = [10, 100, 1000]
 SMOKE_SIZES = [10]
@@ -33,9 +35,27 @@ SEED = 42
 
 DEFAULT_JSON_PATH = Path(__file__).resolve().parent / "BENCH_fleet_window.json"
 
+PAYLOAD_FORMAT = "hypertp-bench-fleet-window"
+PAYLOAD_VERSION = 2
 
-def measure(hosts, fail_rate, seed=SEED):
-    """One campaign; returns the metrics document plus wall-clock cost."""
+
+def measure_cell(cell):
+    """Worker entrypoint: one campaign for one sweep cell.
+
+    Returns the deterministic result entry and, *separately*, the cell's
+    wall-clock cost — wall time is the one nondeterministic number here
+    and must never enter the byte-compared payload.
+    """
+    from repro.fleet import (
+        FailureInjector,
+        FleetConfig,
+        FleetController,
+        RetryPolicy,
+    )
+
+    hosts = cell["hosts"]
+    fail_rate = cell["fail_rate"]
+    seed = cell.get("seed", SEED)
     config = FleetConfig(hosts=hosts, vms_per_host=10, inplace_fraction=0.8,
                          group_size=max(2, hosts // 5), seed=seed,
                          concurrency=8)
@@ -48,40 +68,72 @@ def measure(hosts, fail_rate, seed=SEED):
     metrics = controller.run()
     wall_s = time.perf_counter() - started
     return {
-        "hosts": hosts,
-        "fail_rate": fail_rate,
-        "seed": seed,
+        "entry": {
+            "hosts": hosts,
+            "fail_rate": fail_rate,
+            "seed": seed,
+            "done_hosts": metrics.done_hosts,
+            "rolled_back_hosts": metrics.rolled_back_hosts,
+            "retries_total": metrics.retries_total,
+            "rollbacks_total": metrics.rollbacks_total,
+            "migrations_executed": metrics.migrations_executed,
+            "fleet_window_s": metrics.fleet_window_s,
+            "percentiles_s": metrics.window_percentiles_s,
+        },
         "wall_s": round(wall_s, 4),
-        "done_hosts": metrics.done_hosts,
-        "rolled_back_hosts": metrics.rolled_back_hosts,
-        "retries_total": metrics.retries_total,
-        "rollbacks_total": metrics.rollbacks_total,
-        "migrations_executed": metrics.migrations_executed,
-        "fleet_window_s": metrics.fleet_window_s,
-        "percentiles_s": metrics.window_percentiles_s,
     }
 
 
-def run(smoke=False):
+def sweep_cells(smoke=False):
     sizes = SMOKE_SIZES if smoke else FLEET_SIZES
-    return [measure(hosts, rate)
+    return [{"hosts": hosts, "fail_rate": rate, "seed": SEED}
             for hosts in sizes for rate in FAIL_RATES]
 
 
-def write_json(results, path=DEFAULT_JSON_PATH):
-    document = {
-        "format": "hypertp-bench-fleet-window",
-        "version": 1,
+def cell_label(cell):
+    return f"hosts{cell['hosts']}-fail{cell['fail_rate']:g}"
+
+
+def run(smoke=False, workers=1):
+    """The sweep; returns per-cell dicts in cell order plus pool stats."""
+    cells = sweep_cells(smoke)
+    runner = ParallelRunner(workers=workers, task_timeout_s=600.0)
+    results = runner.map_tasks(measure_cell, cells,
+                               labels=[cell_label(c) for c in cells])
+    return results, runner.stats
+
+
+def write_json(results, path=DEFAULT_JSON_PATH, workers=1, stats=None,
+               extra_meta=None):
+    """Write the artifact: deterministic entries, volatile walls in meta."""
+    payload = {
+        "format": PAYLOAD_FORMAT,
+        "version": PAYLOAD_VERSION,
         "seed": SEED,
-        "results": results,
+        "results": [r["entry"] for r in results],
     }
-    Path(path).write_text(json.dumps(document, indent=2, sort_keys=True))
+    meta = {
+        "workers": workers,
+        "wall_s": round(sum(r["wall_s"] for r in results), 4),
+        "cell_walls_s": [
+            {"hosts": r["entry"]["hosts"],
+             "fail_rate": r["entry"]["fail_rate"],
+             "wall_s": r["wall_s"]}
+            for r in results
+        ],
+    }
+    if stats is not None:
+        meta["pool"] = stats.to_dict()
+    if extra_meta:
+        meta.update(extra_meta)
+    write_bench_json(str(path), payload, meta)
     return path
 
 
 def to_rows(results):
     rows = []
-    for entry in results:
+    for result in results:
+        entry = result["entry"]
         pct = entry["percentiles_s"]
         rows.append([
             entry["hosts"],
@@ -93,7 +145,7 @@ def to_rows(results):
             f"{pct['p95']:.1f}" if pct else "-",
             f"{pct['p99']:.1f}" if pct else "-",
             f"{pct['max']:.1f}" if pct else "-",
-            f"{entry['wall_s']:.3f}",
+            f"{result['wall_s']:.3f}",
         ])
     return rows
 
@@ -103,33 +155,77 @@ HEADERS = ["hosts", "fail", "done", "rolled back", "retries",
 
 
 def test_fleet_window_sweep(benchmark):
-    results = benchmark.pedantic(run, kwargs={"smoke": True},
-                                 rounds=1, iterations=1)
-    write_json(results)
+    results, stats = benchmark.pedantic(run, kwargs={"smoke": True},
+                                        rounds=1, iterations=1)
+    write_json(results, stats=stats)
     print_experiment("fleet window", "percentiles vs size and failure rate",
                      format_table(HEADERS, to_rows(results)))
 
 
 def test_wall_clock_guard():
     """1000 hosts must not blow up superlinearly over 100 hosts."""
-    small = measure(100, 0.0)
-    large = measure(1000, 0.0)
-    assert large["done_hosts"] + large["rolled_back_hosts"] == 1000
+    small = measure_cell({"hosts": 100, "fail_rate": 0.0})
+    large = measure_cell({"hosts": 1000, "fail_rate": 0.0})
+    entry = large["entry"]
+    assert entry["done_hosts"] + entry["rolled_back_hosts"] == 1000
     # Generous absolute ceiling: the run takes well under a second today.
     assert large["wall_s"] < 60.0
     # 10x the hosts may cost ~10x wall plus constant overhead, never ~100x.
     assert large["wall_s"] < 30 * max(small["wall_s"], 0.01)
 
 
+def test_parallel_payload_identical():
+    """Smoke sweep at 2 workers must match the serial payload exactly."""
+    serial, _ = run(smoke=True, workers=1)
+    parallel, _ = run(smoke=True, workers=2)
+    assert [r["entry"] for r in parallel] == [r["entry"] for r in serial]
+
+
+def _wall_total(results):
+    return sum(r["wall_s"] for r in results)
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true",
                         help="10-host column only (CI)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for the sweep (1 = serial)")
+    parser.add_argument("--compare-serial", action="store_true",
+                        help="also run serially, assert byte-identical "
+                             "payloads, and record the speedup in meta")
     parser.add_argument("--json", dest="json_path", metavar="PATH",
                         default=str(DEFAULT_JSON_PATH))
     args = parser.parse_args()
-    results = run(smoke=args.smoke)
-    path = write_json(results, args.json_path)
+
+    extra_meta = {}
+    started = time.perf_counter()
+    results, stats = run(smoke=args.smoke, workers=args.workers)
+    elapsed = time.perf_counter() - started
+    extra_meta["elapsed_s"] = round(elapsed, 4)
+
+    if args.compare_serial and args.workers > 1:
+        serial_started = time.perf_counter()
+        serial_results, _ = run(smoke=args.smoke, workers=1)
+        serial_elapsed = time.perf_counter() - serial_started
+        if [r["entry"] for r in serial_results] != \
+                [r["entry"] for r in results]:
+            raise SystemExit(
+                "parallel sweep payload differs from the serial sweep"
+            )
+        extra_meta["serial_elapsed_s"] = round(serial_elapsed, 4)
+        extra_meta["speedup"] = round(serial_elapsed / max(elapsed, 1e-9), 2)
+        print(f"serial {serial_elapsed:.2f} s vs {args.workers} workers "
+              f"{elapsed:.2f} s -> speedup {extra_meta['speedup']:.2f}x "
+              f"(payloads identical)")
+        cores = os.cpu_count() or 1
+        if cores < args.workers:
+            print(f"note: only {cores} CPU core(s) visible; the sweep is "
+                  f"CPU-bound, so {args.workers} workers cannot beat "
+                  f"serial wall-clock on this host (see meta.host_env)")
+
+    path = write_json(results, args.json_path, workers=args.workers,
+                      stats=stats, extra_meta=extra_meta)
     print_experiment("fleet window", "percentiles vs size and failure rate",
                      format_table(HEADERS, to_rows(results)))
     print(f"JSON written to {path}")

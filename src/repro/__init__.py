@@ -26,51 +26,71 @@ Quickstart::
     print(report.downtime_s)  # ~1.7 s on M1, as in the paper
 """
 
-from repro.errors import (
-    ReproError,
-    TransplantError,
-    MigrationError,
-    NoSafeHypervisorError,
-)
-from repro.sim import SimClock, Engine
-from repro.hw import Machine, MachineSpec, M1_SPEC, M2_SPEC, CLUSTER_NODE_SPEC, Fabric
-from repro.guest import VMConfig, VirtualMachine, VMState
-from repro.hypervisors import (
-    Hypervisor,
-    HypervisorKind,
-    XenHypervisor,
-    KVMHypervisor,
-    make_hypervisor,
-)
-from repro.core import (
-    HyperTP,
-    TransplantReport,
-    InPlaceTP,
-    InPlaceReport,
-    MigrationTP,
-    LiveMigration,
-    MigrationReport,
-    OptimizationConfig,
-    CostModel,
-    DEFAULT_COST_MODEL,
-)
-from repro.vulndb import (
-    load_default_database,
-    TransplantAdvisor,
-    TransplantAdvice,
-    Severity,
-)
-from repro.orchestrator import NovaCompute, DatacenterAPI
-from repro.cluster import UpgradeCampaign
-from repro.fleet import (
-    FleetConfig,
-    FleetController,
-    FleetMetrics,
-    FailureInjector,
-    RetryPolicy,
-)
+import importlib
 
 __version__ = "1.0.0"
+
+# Lazy re-exports (PEP 562).  Eager imports here would pull the whole
+# simulation tree into every interpreter that touches any ``repro``
+# submodule — ~200 ms that the ``repro.par`` worker boot path and the
+# CLI pay on every process spawn.  Attributes resolve on first access.
+_EXPORTS = {
+    "ReproError": "repro.errors",
+    "TransplantError": "repro.errors",
+    "MigrationError": "repro.errors",
+    "NoSafeHypervisorError": "repro.errors",
+    "SimClock": "repro.sim",
+    "Engine": "repro.sim",
+    "Machine": "repro.hw",
+    "MachineSpec": "repro.hw",
+    "M1_SPEC": "repro.hw",
+    "M2_SPEC": "repro.hw",
+    "CLUSTER_NODE_SPEC": "repro.hw",
+    "Fabric": "repro.hw",
+    "VMConfig": "repro.guest",
+    "VirtualMachine": "repro.guest",
+    "VMState": "repro.guest",
+    "Hypervisor": "repro.hypervisors",
+    "HypervisorKind": "repro.hypervisors",
+    "XenHypervisor": "repro.hypervisors",
+    "KVMHypervisor": "repro.hypervisors",
+    "make_hypervisor": "repro.hypervisors",
+    "HyperTP": "repro.core",
+    "TransplantReport": "repro.core",
+    "InPlaceTP": "repro.core",
+    "InPlaceReport": "repro.core",
+    "MigrationTP": "repro.core",
+    "LiveMigration": "repro.core",
+    "MigrationReport": "repro.core",
+    "OptimizationConfig": "repro.core",
+    "CostModel": "repro.core",
+    "DEFAULT_COST_MODEL": "repro.core",
+    "load_default_database": "repro.vulndb",
+    "TransplantAdvisor": "repro.vulndb",
+    "TransplantAdvice": "repro.vulndb",
+    "Severity": "repro.vulndb",
+    "NovaCompute": "repro.orchestrator",
+    "DatacenterAPI": "repro.orchestrator",
+    "UpgradeCampaign": "repro.cluster",
+    "FleetConfig": "repro.fleet",
+    "FleetController": "repro.fleet",
+    "FleetMetrics": "repro.fleet",
+    "FailureInjector": "repro.fleet",
+    "RetryPolicy": "repro.fleet",
+}
+
+
+def __getattr__(name):
+    module = _EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    value = getattr(importlib.import_module(module), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))
 
 __all__ = [
     "ReproError",

@@ -39,13 +39,14 @@ from repro.analysis.findings import Finding
 from repro.analysis.project import Project, SourceModule
 
 #: channels that speak the frame protocol (the codec layer itself is out).
-FRAME_SCOPE = ("core/", "cluster/", "hypervisors/", "fleet/", "obs/")
+FRAME_SCOPE = ("core/", "cluster/", "hypervisors/", "fleet/", "obs/",
+               "par/")
 FRAME_EXEMPT_PREFIXES = ("io/",)
 
 WRITER_METHODS = frozenset({"frame", "_frame"})
 WRITER_FUNCTIONS = frozenset({"encode_frame"})
 READER_MARKERS = frozenset({"FrameReader"})
-READER_FUNCTIONS = frozenset({"decode_frame"})
+READER_FUNCTIONS = frozenset({"decode_frame", "read_stream_frame"})
 END_TAG_NAMES = frozenset({"END_FRAME"})
 
 

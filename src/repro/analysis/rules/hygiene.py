@@ -21,8 +21,11 @@ from repro.analysis.engine import Rule, register_rule
 from repro.analysis.findings import Finding
 from repro.analysis.project import Project, SourceModule, dotted_name
 
-#: layers that must run on simulated time (path prefixes)
-CLOCK_SCOPE = ("sim/", "core/", "hypervisors/", "fleet/", "obs/", "io/")
+#: layers that must run on simulated time (path prefixes); par/ is in
+#: scope with one audited exception, the repro.par.realtime boundary
+#: (pool deadlines and respawn backoff are real infrastructure)
+CLOCK_SCOPE = ("sim/", "core/", "hypervisors/", "fleet/", "obs/", "io/",
+               "par/")
 
 #: fully-qualified callables that read the wall clock or block on it
 WALL_CLOCK_CALLS = frozenset({

@@ -1,11 +1,25 @@
-"""Plain-text table/series rendering for the benchmark harness.
+"""Rendering and artifact plumbing for the benchmark harness.
 
 Every ``benchmarks/bench_*`` file prints the rows or series the paper's
 corresponding table/figure reports, via these helpers, so the regenerated
 artifacts are easy to eyeball against the original.
+
+JSON artifacts use the wrapper produced by :func:`bench_document`: the
+deterministic **payload** (same seed, same bytes, no matter how the run
+was executed) is separated from the volatile **meta** block (wall-clock
+timings, worker count, host environment).  CI compares parallel and
+serial runs with ``python -m repro.bench.report cmp a.json b.json``,
+which byte-compares only the payload and merely reports the meta.
 """
 
-from typing import Sequence
+import json
+import os
+import platform
+import sys
+from typing import Dict, Optional, Sequence
+
+BENCH_ARTIFACT_FORMAT = "hypertp-bench-artifact"
+BENCH_ARTIFACT_VERSION = 1
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence],
@@ -53,3 +67,117 @@ def _fmt(cell) -> str:
             return f"{cell:.2f}"
         return f"{cell:.4f}"
     return str(cell)
+
+
+# -- JSON artifacts -----------------------------------------------------------
+
+
+def host_env() -> Dict[str, object]:
+    """Volatile host identification for an artifact's meta block."""
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+def bench_document(payload: Dict, meta: Optional[Dict] = None) -> Dict:
+    """Wrap a deterministic payload with a volatile meta block.
+
+    ``payload`` holds everything that must be byte-identical across runs
+    of the same seed (results, sweeps, configs); ``meta`` holds what is
+    allowed to differ (wall-clock seconds, ``workers``, ``host_env``,
+    pool stats).  Comparison tooling looks only at the payload.
+    """
+    meta = dict(meta or {})
+    meta.setdefault("host_env", host_env())
+    meta.setdefault("workers", 1)
+    return {
+        "format": BENCH_ARTIFACT_FORMAT,
+        "version": BENCH_ARTIFACT_VERSION,
+        "meta": meta,
+        "payload": payload,
+    }
+
+
+def payload_json(document: Dict) -> str:
+    """The byte-comparable serialization of an artifact's payload."""
+    if document.get("format") != BENCH_ARTIFACT_FORMAT:
+        raise ValueError(
+            f"not a bench artifact: format "
+            f"{document.get('format')!r}, want {BENCH_ARTIFACT_FORMAT!r}"
+        )
+    return json.dumps(document["payload"], indent=2, sort_keys=True)
+
+
+def payloads_equal(a: Dict, b: Dict) -> bool:
+    """True when two artifacts' deterministic payloads are byte-identical."""
+    return payload_json(a) == payload_json(b)
+
+
+def write_bench_json(path: str, payload: Dict,
+                     meta: Optional[Dict] = None) -> Dict:
+    """Write a wrapped artifact; returns the document written."""
+    document = bench_document(payload, meta)
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return document
+
+
+def read_bench_json(path: str) -> Dict:
+    with open(path) as handle:
+        document = json.load(handle)
+    if document.get("format") != BENCH_ARTIFACT_FORMAT:
+        raise ValueError(
+            f"{path}: not a bench artifact (format "
+            f"{document.get('format')!r})"
+        )
+    return document
+
+
+def _cmd_cmp(args) -> int:
+    """``python -m repro.bench.report cmp A B`` — payload-aware compare."""
+    try:
+        a = read_bench_json(args.a)
+        b = read_bench_json(args.b)
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        print(f"cmp: {error}", file=sys.stderr)
+        return 2
+    if payloads_equal(a, b):
+        meta_a, meta_b = a.get("meta", {}), b.get("meta", {})
+        print(f"payloads identical "
+              f"(workers {meta_a.get('workers')} vs {meta_b.get('workers')}, "
+              f"wall {meta_a.get('wall_s', '?')} vs "
+              f"{meta_b.get('wall_s', '?')} s)")
+        return 0
+    print(f"cmp: payloads differ between {args.a} and {args.b}",
+          file=sys.stderr)
+    return 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.report",
+        description="benchmark artifact tooling",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    cmp_parser = sub.add_parser(
+        "cmp",
+        help="compare two bench artifacts' deterministic payloads "
+             "(meta blocks are reported, never compared)",
+    )
+    cmp_parser.add_argument("a")
+    cmp_parser.add_argument("b")
+    args = parser.parse_args(argv)
+    if args.command == "cmp":
+        return _cmd_cmp(args)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -126,6 +126,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated hypervisor repertoire")
     fleet.add_argument("--json", dest="json_path", metavar="FILE",
                        help="also write the full metrics document as JSON")
+    fleet.add_argument("--trace", dest="trace_path", metavar="FILE",
+                       help="also write the campaign's Perfetto/Chrome "
+                            "trace JSON")
+    fleet.add_argument("--workers", type=int, default=1,
+                       help="route the campaign through the repro.par "
+                            "worker pool (output is byte-identical to "
+                            "--workers 1)")
 
     trace = sub.add_parser(
         "trace",
@@ -146,6 +153,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the trace JSON here instead of stdout")
     trace.add_argument("--metrics", dest="metrics_path", metavar="FILE",
                        help="also write the metrics-registry snapshot JSON")
+    trace.add_argument("--workers", type=int, default=1,
+                       help="route the replay through the repro.par "
+                            "worker pool (output is byte-identical to "
+                            "--workers 1)")
 
     sub.add_parser("tcb", help="print the §4.4 TCB accounting")
 
@@ -340,66 +351,75 @@ def cmd_cluster(args) -> int:
 
 
 def cmd_fleet(args) -> int:
-    from repro.errors import FleetError
-    from repro.fleet import (
-        FailureInjector,
-        FleetConfig,
-        FleetController,
-        RetryPolicy,
-    )
+    import json
+
+    from repro.errors import FleetError, ParError
+    from repro.par import merge_traces, run_fleet_campaign
+    from repro.vulndb.data import load_default_database
 
     pool = tuple(p.strip() for p in args.pool.split(",") if p.strip())
+    payload = {
+        "config": {
+            "hosts": args.hosts,
+            "vms_per_host": args.vms_per_host,
+            "inplace_fraction": args.inplace_fraction,
+            "group_size": args.group_size,
+            "seed": args.seed,
+            "concurrency": args.concurrency if args.concurrency > 0 else None,
+            "sequential_groups": args.sequential_groups,
+            "trigger_cve": args.cve,
+            "current_hypervisor": args.current.value,
+            "pool": pool,
+        },
+        "fail_rate": args.fail_rate,
+        "injector_seed": args.seed,
+        "max_retries": args.max_retries,
+        "trace": bool(args.trace_path),
+    }
     try:
-        config = FleetConfig(
-            hosts=args.hosts,
-            vms_per_host=args.vms_per_host,
-            inplace_fraction=args.inplace_fraction,
-            group_size=args.group_size,
-            seed=args.seed,
-            concurrency=args.concurrency if args.concurrency > 0 else None,
-            sequential_groups=args.sequential_groups,
-            trigger_cve=args.cve,
-            current_hypervisor=args.current.value,
-            pool=pool,
-        )
-        controller = FleetController(
-            config,
-            injector=FailureInjector(args.fail_rate, seed=args.seed),
-            retry=RetryPolicy(max_retries=args.max_retries),
-        )
-        metrics = controller.run()
-    except FleetError as error:
+        result = run_fleet_campaign(payload, workers=args.workers)
+    except (FleetError, ParError) as error:
         print(f"fleet: {error}", file=sys.stderr)
         return 2
 
-    record = controller.db.get(args.cve)
+    document = result["document"]
+    campaign, window = document["campaign"], document["window"]
+    robustness = document["robustness"]
+    record = load_default_database().get(args.cve)
     print(f"{args.cve} disclosed ({record.severity.value}, affects "
           f"{sorted(record.affected)}): {record.description}")
-    print(f"Advisor: transplant {metrics.source_hypervisor} -> "
-          f"{metrics.target_hypervisor}")
-    print(f"Campaign: {metrics.hosts} hosts / {metrics.vms} VMs in "
-          f"{metrics.waves} waves, "
+    print(f"Advisor: transplant {campaign['source_hypervisor']} -> "
+          f"{campaign['target_hypervisor']}")
+    print(f"Campaign: {campaign['hosts']} hosts / {campaign['vms']} VMs in "
+          f"{campaign['waves']} waves, "
           f"concurrency {args.concurrency if args.concurrency > 0 else 'unbounded'}"
           f"{', sequential groups' if args.sequential_groups else ''}"
-          f"{f', fail rate {args.fail_rate:.0%}' if args.fail_rate else ''}")
-    print(f"  remediated : {metrics.done_hosts}/{metrics.hosts} hosts "
-          f"({metrics.rolled_back_hosts} rolled back)")
-    print(f"  migrations : {metrics.migrations_executed} executed, "
-          f"{metrics.migrations_skipped} skipped")
-    print(f"  robustness : {metrics.retries_total} retries, "
-          f"{metrics.rollbacks_total} rollbacks")
-    if metrics.window_percentiles_s:
+          f"{f', fail rate {args.fail_rate:.0%}' if args.fail_rate else ''}"
+          f"{f', {args.workers} workers' if args.workers > 1 else ''}")
+    print(f"  remediated : {robustness['done_hosts']}/{campaign['hosts']} "
+          f"hosts ({robustness['rolled_back_hosts']} rolled back)")
+    print(f"  migrations : {robustness['migrations_executed']} executed, "
+          f"{robustness['migrations_skipped']} skipped")
+    print(f"  robustness : {robustness['retries_total']} retries, "
+          f"{robustness['rollbacks_total']} rollbacks")
+    if window["percentiles_s"]:
         print("  vulnerability window (disclosure -> host remediated):")
         for key in ("p50", "p95", "p99", "max"):
-            seconds = metrics.window_percentiles_s[key]
+            seconds = window["percentiles_s"][key]
             print(f"    {key:>4}: {seconds:10.1f} s ({seconds / 60:6.1f} min)")
     else:
         print("  no host reached DONE — the fleet stays vulnerable")
     if args.json_path:
         with open(args.json_path, "w") as handle:
-            handle.write(metrics.to_json())
+            handle.write(json.dumps(document, indent=2, sort_keys=True))
         print(f"  metrics JSON written to {args.json_path}")
-    if not metrics.all_terminal:
+    if args.trace_path:
+        trace = merge_traces([("fleet", result["spans"])], prefix=False)
+        with open(args.trace_path, "w") as handle:
+            handle.write(trace.to_chrome_trace())
+        print(f"  trace JSON written to {args.trace_path}")
+    terminal = {"done", "rolled-back"}
+    if not all(h["state"] in terminal for h in document["per_host"]):
         print("ERROR: campaign left hosts in a non-terminal state",
               file=sys.stderr)
         return 1
@@ -407,52 +427,47 @@ def cmd_fleet(args) -> int:
 
 
 def cmd_trace(args) -> int:
-    from repro.errors import FleetError
-    from repro.fleet import (
-        FailureInjector,
-        FleetConfig,
-        FleetController,
-        RetryPolicy,
-    )
-    from repro.obs import MetricsRegistry, Tracer
+    import json
 
-    tracer = Tracer()
-    registry = MetricsRegistry()
+    from repro.errors import FleetError, ParError
+    from repro.par import merge_traces, run_fleet_campaign
+
+    payload = {
+        "config": {
+            "hosts": args.hosts,
+            "vms_per_host": args.vms_per_host,
+            "inplace_fraction": args.inplace_fraction,
+            "group_size": args.group_size,
+            "seed": args.seed,
+            "concurrency": args.concurrency if args.concurrency > 0 else None,
+            "sequential_groups": args.sequential_groups,
+            "trigger_cve": args.cve,
+        },
+        "fail_rate": args.fail_rate,
+        "injector_seed": args.seed,
+        "trace": True,
+        "metrics": True,
+    }
     try:
-        config = FleetConfig(
-            hosts=args.hosts,
-            vms_per_host=args.vms_per_host,
-            inplace_fraction=args.inplace_fraction,
-            group_size=args.group_size,
-            seed=args.seed,
-            concurrency=args.concurrency if args.concurrency > 0 else None,
-            sequential_groups=args.sequential_groups,
-            trigger_cve=args.cve,
-        )
-        controller = FleetController(
-            config,
-            injector=FailureInjector(args.fail_rate, seed=args.seed),
-            retry=RetryPolicy(),
-            tracer=tracer,
-            registry=registry,
-        )
-        controller.run()
-    except FleetError as error:
+        result = run_fleet_campaign(payload, workers=args.workers)
+    except (FleetError, ParError) as error:
         print(f"trace: {error}", file=sys.stderr)
         return 2
 
-    document = tracer.to_chrome_trace()
+    trace = merge_traces([("fleet", result["spans"])], prefix=False)
+    document = trace.to_chrome_trace()
     if args.out:
         with open(args.out, "w") as handle:
             handle.write(document)
-        print(f"trace written to {args.out} ({len(tracer.trace)} spans, "
-              f"{len(tracer.trace.tracks())} tracks) — open in "
+        print(f"trace written to {args.out} ({len(trace)} spans, "
+              f"{len(trace.tracks())} tracks) — open in "
               f"chrome://tracing or ui.perfetto.dev", file=sys.stderr)
     else:
         print(document)
     if args.metrics_path:
         with open(args.metrics_path, "w") as handle:
-            handle.write(registry.to_json())
+            handle.write(json.dumps(result["registry"], indent=2,
+                                    sort_keys=True))
         print(f"metrics snapshot written to {args.metrics_path}",
               file=sys.stderr)
     return 0

@@ -74,6 +74,11 @@ class ObservabilityError(ReproError):
     """Raised for tracing/metrics misuse (unclosed spans, metric clashes)."""
 
 
+class ParError(ReproError):
+    """Raised for parallel-execution failures (unpicklable entrypoints,
+    unsafe task payloads, unmergeable shard results, exhausted retries)."""
+
+
 class VulnDBError(ReproError):
     """Raised for vulnerability-database failures (unknown CVE, bad score)."""
 

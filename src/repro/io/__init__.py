@@ -25,6 +25,7 @@ from repro.io.frames import (
     Unpacker,
     decode_frame,
     encode_frame,
+    read_stream_frame,
 )
 from repro.io.pages import (
     DedupStats,
@@ -41,6 +42,7 @@ __all__ = [
     "END_FRAME",
     "encode_frame",
     "decode_frame",
+    "read_stream_frame",
     "FrameWriter",
     "FrameReader",
     "Packer",

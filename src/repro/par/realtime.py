@@ -1,0 +1,34 @@
+"""The parallel subsystem's one wall-clock boundary.
+
+Everything simulated in this repository takes time from
+:class:`~repro.sim.clock.SimClock` — the ``sim-clock-hygiene`` lint rule
+enforces it, and ``par/`` is inside that rule's scope.  But the worker
+pool is *real* infrastructure: task timeouts, crash-respawn backoff and
+the select() deadline all need the host's monotonic clock, exactly like
+``repro.io`` is the one layer allowed to touch ``struct``.
+
+This module is therefore the single place in ``repro.par`` (and the whole
+simulated tree) that may read or sleep on the wall clock.  Each call site
+carries an explicit lint suppression so the exception stays visible and
+reviewed; any *other* wall-clock call in ``par/`` is still a lint error.
+
+Nothing read from this module may flow into result payloads that are
+byte-compared across runs — wall-clock numbers belong in the volatile
+``meta`` block of bench artifacts (see :mod:`repro.bench.report`), never
+in the deterministic payload.
+"""
+
+import time
+
+
+def monotonic() -> float:
+    """Wall-clock seconds for pool deadlines (never for sim results)."""
+    # The pool's watchdog needs real time; sim results never see it.
+    return time.monotonic()  # repro-lint: disable=sim-clock-hygiene pool deadlines are real infrastructure
+
+
+def sleep(seconds: float) -> None:
+    """Real sleep for crash-respawn backoff (never on a simulated path)."""
+    if seconds > 0:
+        # Backoff between worker respawns happens in real time.
+        time.sleep(seconds)  # repro-lint: disable=sim-clock-hygiene respawn backoff is real infrastructure

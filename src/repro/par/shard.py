@@ -1,0 +1,186 @@
+"""Deterministic sharding and order-independent result merging.
+
+Two obligations make parallel runs trustworthy:
+
+* **Seed derivation** — every shard's randomness comes from
+  :func:`derive_seed`, a pure function of the root seed and the shard's
+  stable identity (never of worker index, pid or scheduling).  Shard 3
+  draws the same random stream whether it runs first, last, inline or in
+  a subprocess.
+
+* **Order-independent merging** — shard outputs come back in completion
+  order, which is nondeterministic; the merge functions here are written
+  so the merged artifact is byte-identical regardless.  Counters sum,
+  gauges max (both commutative), histogram buckets sum after the bounds
+  are checked for identity, and traces are rebuilt from sorted shard
+  labels so the exporter's stable pid/tid remap sees the same track set
+  every run.
+
+All inputs are the plain-dict *snapshots* of registries and spans — not
+the live objects — because that is what crosses the worker pipe.
+"""
+
+import hashlib
+from dataclasses import replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ParError
+from repro.obs.metrics import SNAPSHOT_FORMAT, SNAPSHOT_VERSION
+from repro.obs.trace import Span, Trace
+
+
+def derive_seed(root_seed: int, *parts) -> int:
+    """A shard's seed: a pure hash of the root seed and its identity.
+
+    ``parts`` name the shard (e.g. ``("fleet_window", 1000, 0.01)``);
+    the result is a 63-bit integer stable across processes, platforms
+    and Python hash randomization.
+    """
+    digest = hashlib.sha256()
+    digest.update(str(int(root_seed)).encode("ascii"))
+    for part in parts:
+        digest.update(b"\x1f")
+        digest.update(repr(part).encode("utf-8"))
+    return int.from_bytes(digest.digest()[:8], "big") >> 1
+
+
+# -- metrics snapshots --------------------------------------------------------
+
+
+def merge_snapshots(snapshots: Sequence[Dict[str, object]]
+                    ) -> Dict[str, object]:
+    """Merge per-shard :meth:`MetricsRegistry.snapshot` dicts into one.
+
+    Counters sum and histograms sum bucket-wise (both commutative and
+    associative, so completion order cannot leak into the result); gauges
+    take the max, the only order-independent reduction for point-in-time
+    values.  Metrics present in only some shards merge with the rest
+    absent-as-zero.  Shards that registered the *same* histogram with
+    different bucket bounds are a configuration bug and raise
+    :class:`ParError`.
+    """
+    merged: Dict[str, Dict[str, object]] = {}
+    for snapshot in snapshots:
+        if snapshot.get("format") != SNAPSHOT_FORMAT:
+            raise ParError(
+                f"cannot merge metrics snapshot with format "
+                f"{snapshot.get('format')!r}; want {SNAPSHOT_FORMAT!r}"
+            )
+        for name, metric in snapshot.get("metrics", {}).items():
+            existing = merged.get(name)
+            if existing is None:
+                merged[name] = _copy_metric(metric)
+            else:
+                _merge_metric(name, existing, metric)
+    return {
+        "format": SNAPSHOT_FORMAT,
+        "version": SNAPSHOT_VERSION,
+        "metrics": {name: merged[name] for name in sorted(merged)},
+    }
+
+
+def _copy_metric(metric: Dict[str, object]) -> Dict[str, object]:
+    copy = dict(metric)
+    if metric.get("kind") == "histogram":
+        copy["buckets"] = [dict(bucket) for bucket in metric["buckets"]]
+    return copy
+
+
+def _merge_metric(name: str, into: Dict[str, object],
+                  metric: Dict[str, object]) -> None:
+    kind = metric.get("kind")
+    if kind != into.get("kind"):
+        raise ParError(
+            f"metric {name!r} has kind {kind!r} in one shard and "
+            f"{into.get('kind')!r} in another"
+        )
+    if kind == "counter":
+        into["value"] = into["value"] + metric["value"]
+    elif kind == "gauge":
+        into["value"] = max(into["value"], metric["value"])
+    elif kind == "histogram":
+        _merge_histogram(name, into, metric)
+    else:
+        raise ParError(f"metric {name!r} has unknown kind {kind!r}")
+
+
+def _merge_histogram(name: str, into: Dict[str, object],
+                     metric: Dict[str, object]) -> None:
+    bounds_a = [bucket["le"] for bucket in into["buckets"]]
+    bounds_b = [bucket["le"] for bucket in metric["buckets"]]
+    if bounds_a != bounds_b:
+        raise ParError(
+            f"histogram {name!r} has different bucket bounds across "
+            f"shards: {bounds_a} vs {bounds_b}"
+        )
+    for target, source in zip(into["buckets"], metric["buckets"]):
+        target["count"] += source["count"]
+    into["count"] = into["count"] + metric["count"]
+    into["sum"] = into["sum"] + metric["sum"]
+    into["min"] = _merge_extreme(into["min"], metric["min"], min)
+    into["max"] = _merge_extreme(into["max"], metric["max"], max)
+
+
+def _merge_extreme(a: Optional[float], b: Optional[float], pick):
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return pick(a, b)
+
+
+# -- trace spans --------------------------------------------------------------
+
+
+def span_to_payload(span: Span) -> Dict[str, object]:
+    """A span as plain picklable data for the worker pipe."""
+    return {
+        "name": span.name,
+        "category": span.category,
+        "start_s": span.start_s,
+        "end_s": span.end_s,
+        "track": span.track,
+        "args": dict(span.args) if span.args else None,
+    }
+
+
+def span_from_payload(payload: Dict[str, object]) -> Span:
+    return Span(
+        name=payload["name"],
+        category=payload["category"],
+        start_s=payload["start_s"],
+        end_s=payload["end_s"],
+        track=payload.get("track", "host"),
+        args=payload.get("args"),
+    )
+
+
+def spans_to_payload(spans: Iterable[Span]) -> List[Dict[str, object]]:
+    """Serialize a trace (or any span iterable) for the worker pipe."""
+    return [span_to_payload(span) for span in spans]
+
+
+def merge_traces(shards: Sequence[Tuple[str, Iterable[Dict[str, object]]]],
+                 prefix: bool = True) -> Trace:
+    """One campaign trace out of per-shard span payloads.
+
+    ``shards`` pairs each shard's stable label with its span payloads.
+    With ``prefix=True`` (sweeps) every track is namespaced under its
+    shard label so cells don't collide; with ``prefix=False`` (a single
+    campaign routed through the pool) spans merge verbatim, reproducing
+    the inline trace byte-for-byte.  Shards are processed in sorted-label
+    order and the exporter assigns pids/tids from sorted track names, so
+    the output is identical for any completion order.
+    """
+    trace = Trace()
+    seen = set()
+    for label, payloads in sorted(shards, key=lambda pair: pair[0]):
+        if label in seen:
+            raise ParError(f"duplicate shard label {label!r} in trace merge")
+        seen.add(label)
+        for payload in payloads:
+            span = span_from_payload(payload)
+            if prefix:
+                span = replace(span, track=f"{label}/{span.track}")
+            trace.add(span)
+    return trace

@@ -126,18 +126,40 @@ class TestFleetWindowBench:
         import json
 
         bench = load_bench("bench_fleet_window")
-        results = bench.run(smoke=True)
-        assert [entry["hosts"] for entry in results] == [10, 10, 10]
-        assert [entry["fail_rate"] for entry in results] == [0.0, 0.01, 0.05]
-        for entry in results:
+        results, stats = bench.run(smoke=True)
+        entries = [r["entry"] for r in results]
+        assert [entry["hosts"] for entry in entries] == [10, 10, 10]
+        assert [entry["fail_rate"] for entry in entries] == [0.0, 0.01, 0.05]
+        for result, entry in zip(results, entries):
             assert entry["done_hosts"] + entry["rolled_back_hosts"] == 10
+            assert result["wall_s"] >= 0
+            assert "wall_s" not in entry  # volatile values stay out
             if entry["percentiles_s"]:
                 pct = entry["percentiles_s"]
                 assert pct["p50"] <= pct["p95"] <= pct["p99"] <= pct["max"]
-        path = bench.write_json(results, tmp_path / "BENCH_fleet_window.json")
+        path = bench.write_json(results, tmp_path / "BENCH_fleet_window.json",
+                                stats=stats)
         document = json.loads(Path(path).read_text())
-        assert document["format"] == "hypertp-bench-fleet-window"
-        assert len(document["results"]) == 3
+        assert document["format"] == "hypertp-bench-artifact"
+        assert document["payload"]["format"] == "hypertp-bench-fleet-window"
+        assert len(document["payload"]["results"]) == 3
+        assert document["meta"]["workers"] == 1
+        assert "host_env" in document["meta"]
+        assert "wall_s" in document["meta"]
+
+    def test_parallel_artifact_payload_matches_serial(self, tmp_path):
+        from repro.bench.report import payloads_equal, read_bench_json
+
+        bench = load_bench("bench_fleet_window")
+        serial_results, serial_stats = bench.run(smoke=True, workers=1)
+        parallel_results, parallel_stats = bench.run(smoke=True, workers=2)
+        serial = bench.write_json(serial_results, tmp_path / "serial.json",
+                                  workers=1, stats=serial_stats)
+        parallel = bench.write_json(parallel_results,
+                                    tmp_path / "parallel.json",
+                                    workers=2, stats=parallel_stats)
+        assert payloads_equal(read_bench_json(str(serial)),
+                              read_bench_json(str(parallel)))
 
 
 class TestAblationBench:
