@@ -10,6 +10,7 @@ from repro.analysis.rules import (  # noqa: F401
     frame_symmetry,
     hygiene,
     io_hygiene,
+    journal_hygiene,
     obs_hygiene,
     par_hygiene,
     registry_complete,

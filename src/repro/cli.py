@@ -133,6 +133,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="route the campaign through the repro.par "
                             "worker pool (output is byte-identical to "
                             "--workers 1)")
+    fleet.add_argument("--journal", metavar="FILE",
+                       help="write-ahead journal every transition and wave "
+                            "boundary to FILE for crash recovery (runs "
+                            "inline; incompatible with --workers > 1)")
+    fleet.add_argument("--resume", metavar="FILE",
+                       help="recover a crashed campaign from its journal "
+                            "and run it to completion; the campaign shape "
+                            "comes from the journal, not the other flags")
+    fleet.add_argument("--crash-after", type=int, metavar="N",
+                       help="fault injection: kill the controller right "
+                            "after the Nth journal record is durable "
+                            "(exit code 3; requires --journal/--resume)")
 
     trace = sub.add_parser(
         "trace",
@@ -350,10 +362,66 @@ def cmd_cluster(args) -> int:
     return 0
 
 
+def _journaled_fleet_result(args, payload):
+    """Run a journaled (or resumed) campaign inline.
+
+    The journal object cannot cross the worker-pool pipe, so ``--journal``
+    and ``--resume`` bypass :func:`repro.par.run_fleet_campaign`; the
+    returned dict mirrors its shape (``document``/``spans``) exactly.
+    """
+    from repro.fleet import (
+        FailureInjector,
+        FleetConfig,
+        FleetController,
+        RetryPolicy,
+    )
+    from repro.journal import CampaignJournal, campaign_meta, recover
+    from repro.obs import NULL_TRACER, Tracer
+    from repro.par.shard import spans_to_payload
+
+    tracer = Tracer() if payload.get("trace") else None
+    if args.resume:
+        controller, journal = recover(
+            args.resume,
+            tracer=tracer if tracer is not None else NULL_TRACER,
+            crash_after=args.crash_after,
+        )
+        if journal.torn_bytes:
+            print(f"fleet: journal had a torn tail — discarded "
+                  f"{journal.torn_bytes} trailing byte(s) "
+                  f"({journal.torn_error})", file=sys.stderr)
+        print(f"fleet: resuming from {args.resume} — verifying "
+              f"{journal.pending_replay} journaled record(s)",
+              file=sys.stderr)
+    else:
+        config = FleetConfig(**payload["config"])
+        injector = FailureInjector(
+            payload.get("fail_rate", 0.0),
+            seed=payload.get("injector_seed", config.seed),
+        )
+        if payload.get("max_retries") is not None:
+            retry = RetryPolicy(max_retries=payload["max_retries"])
+        else:
+            retry = RetryPolicy()
+        journal = CampaignJournal.create(
+            args.journal, campaign_meta(config, injector, retry),
+            crash_after=args.crash_after,
+        )
+        kwargs = {"injector": injector, "retry": retry, "journal": journal}
+        if tracer is not None:
+            kwargs["tracer"] = tracer
+        controller = FleetController(config, **kwargs)
+    metrics = controller.run()
+    result = {"document": metrics.to_dict()}
+    if tracer is not None:
+        result["spans"] = spans_to_payload(tracer.trace)
+    return result
+
+
 def cmd_fleet(args) -> int:
     import json
 
-    from repro.errors import FleetError, ParError
+    from repro.errors import FleetError, JournalCrash, JournalError, ParError
     from repro.par import merge_traces, run_fleet_campaign
     from repro.vulndb.data import load_default_database
 
@@ -376,9 +444,28 @@ def cmd_fleet(args) -> int:
         "max_retries": args.max_retries,
         "trace": bool(args.trace_path),
     }
+    journaling = bool(args.journal or args.resume)
+    if args.journal and args.resume:
+        print("fleet: --journal and --resume are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    if args.crash_after is not None and not journaling:
+        print("fleet: --crash-after requires --journal or --resume",
+              file=sys.stderr)
+        return 2
+    if journaling and args.workers > 1:
+        print("fleet: a journaled campaign runs inline; drop --workers",
+              file=sys.stderr)
+        return 2
     try:
-        result = run_fleet_campaign(payload, workers=args.workers)
-    except (FleetError, ParError) as error:
+        if journaling:
+            result = _journaled_fleet_result(args, payload)
+        else:
+            result = run_fleet_campaign(payload, workers=args.workers)
+    except JournalCrash as crash:
+        print(f"fleet: {crash}", file=sys.stderr)
+        return 3
+    except (FleetError, ParError, JournalError) as error:
         print(f"fleet: {error}", file=sys.stderr)
         return 2
 

@@ -66,6 +66,23 @@ class FleetError(ReproError):
     stuck campaigns, bad configuration)."""
 
 
+class JournalError(ReproError):
+    """Raised for campaign-journal failures (bad record, divergent replay,
+    resuming a journal with no campaign metadata)."""
+
+
+class JournalDivergence(JournalError):
+    """Raised when a recovering campaign produces a record that does not
+    match the journaled prefix — the fail-closed signal that replay and
+    the durable log disagree."""
+
+
+class JournalCrash(JournalError):
+    """Raised by crash-point fault injection immediately after a journal
+    record reaches the file — simulates the controller dying with exactly
+    that prefix durable."""
+
+
 class OrchestratorError(ReproError):
     """Raised for Nova/libvirt orchestration-layer failures."""
 

@@ -20,6 +20,9 @@ per-host polling.  The degenerate configuration — no failures,
 times the identical plan with the identical per-action cost functions.
 """
 
+import gc
+import hashlib
+import zlib
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Set, Tuple
@@ -146,7 +149,8 @@ class FleetController:
                  node_spec: MachineSpec = CLUSTER_NODE_SPEC,
                  cost_model: CostModel = DEFAULT_COST_MODEL,
                  tracer=NULL_TRACER,
-                 registry: Optional[MetricsRegistry] = None):
+                 registry: Optional[MetricsRegistry] = None,
+                 journal=None):
         self.config = config = config if config is not None else FleetConfig()
         self.db = db if db is not None else load_default_database()
         self.injector = injector if injector is not None else FailureInjector()
@@ -154,6 +158,10 @@ class FleetController:
         self.cost = cost_model
         self.tracer = tracer
         self.registry = registry
+        # Any object with transition/wave_barrier/checkpoint/commit methods,
+        # normally a repro.journal.CampaignJournal.  Duck-typed so the fleet
+        # layer never imports repro.journal (which imports fleet lazily).
+        self.journal = journal
         self.source_kind = HypervisorKind(config.current_hypervisor)
         advisor = TransplantAdvisor(self.db, hypervisor_pool=list(config.pool))
         self.advice = advisor.advise_or_raise(
@@ -168,7 +176,7 @@ class FleetController:
         self._machine = Machine(node_spec, name="fleet-reference")
         self._link_rate = cluster_link_rate(node_spec)
         # Populated by run():
-        self.trace = FleetTrace()
+        self.trace = FleetTrace(journal=journal)
         self.records: Dict[str, HostRecord] = {}
         self.placement: Dict[str, str] = {}
         #: the hypervisor each host actually runs after the campaign — a
@@ -222,7 +230,7 @@ class FleetController:
         engine = Engine(SimClock(cfg.disclosure_at_s))
         self._engine = engine
         self.tracer.bind_clock(lambda: engine.now)
-        self.trace = FleetTrace()
+        self.trace = FleetTrace(journal=self.journal)
         self._ledger = _SlotLedger(engine, initial_free)
         self._link = FifoSemaphore(engine, cfg.migration_streams)
         self._admission = FifoSemaphore(engine, cfg.concurrency)
@@ -237,6 +245,13 @@ class FleetController:
         self._streams = {hp.name: self.injector.stream_for(hp.name)
                          for hp in host_plans}
         self._migrations_executed = 0
+        # Rolling placement signature for checkpoint digests: a crc32
+        # chained over every committed move, in execution order.  The
+        # campaign is deterministic, so a resumed run re-executes the
+        # same move sequence and lands on the same signature — and the
+        # digest commits to the *order* of moves, not just the final
+        # placement, without ever serializing the 10k-entry map.
+        self._placement_sig = 0
 
         waves: Dict[int, List[_HostPlan]] = {}
         for hp in host_plans:
@@ -246,6 +261,19 @@ class FleetController:
                            for w, hps in waves.items()}
         self._evac_latch = {w: Latch(engine, len(hps))
                             for w, hps in waves.items()}
+        if self.journal is not None:
+            # Subscribed before processes start and before wave chaining, so
+            # each barrier record is durable before any waiter wakes on it
+            # (gate/latch subscribers run in strict FIFO order) and a wave's
+            # "wave-done" record precedes the next wave's "release".
+            for w in sorted(waves):
+                self._wave_release[w].subscribe(self._journal_barrier(
+                    w, "release"))
+                self._evac_latch[w].subscribe(self._journal_barrier(
+                    w, "evac-done"))
+                self._wave_done[w].subscribe(self._journal_barrier(
+                    w, "wave-done"))
+                self._wave_done[w].subscribe(self._journal_checkpoint)
         if cfg.sequential_groups:
             ordered = sorted(waves)
             self._wave_release[ordered[0]].fire()
@@ -270,7 +298,22 @@ class FleetController:
                 engine, self._host_process(record, hp), name=hp.name,
             )
             processes.append(process.start())
-        engine.run()
+        if self.journal is not None:
+            # Journal appends allocate a handful of objects per record,
+            # and each collection those allocations trigger walks the
+            # campaign's tens of thousands of live generator frames.
+            # Freezing the heap here parks everything alive (the frames,
+            # the cluster model) outside the collector for the duration
+            # of the run, so the collections journaling triggers only
+            # scan short-lived record garbage — GC stays on and pays its
+            # own way; nothing is deferred onto the caller.
+            gc.freeze()
+            try:
+                self._run_engine(engine, processes)
+            finally:
+                gc.unfreeze()
+        else:
+            self._run_engine(engine, processes)
 
         stuck = [p.name for p in processes if not p.done]
         stuck += [r.name for r in self.records.values()
@@ -291,7 +334,7 @@ class FleetController:
                 end_s=completed,
                 campaign=f"campaign {cfg.trigger_cve}",
             ))
-        return collect_metrics(
+        metrics = collect_metrics(
             [self.records[name] for name in sorted(self.records)],
             self.trace,
             trigger_cve=cfg.trigger_cve,
@@ -303,6 +346,71 @@ class FleetController:
             migrations_executed=self._migrations_executed,
             registry=self.registry,
         )
+        if self.journal is not None:
+            # COMMIT carries a digest of the final recoverable state — the
+            # teeth of the resume determinism contract: a resumed campaign
+            # whose end state differs from the journaled promise fails
+            # closed on the replay byte-compare.  The metrics document is
+            # a deterministic function of that state, so it is bound too
+            # (and CI additionally cmp-checks the artifacts byte-for-byte).
+            self.journal.commit(completed, self._state_digest())
+        return metrics
+
+    @staticmethod
+    def _run_engine(engine: Engine, processes: List[FleetProcess]) -> None:
+        try:
+            engine.run()
+        except BaseException:
+            # A crash — injected (JournalCrash) or real — leaves host
+            # processes suspended mid-frame; close them deterministically
+            # so teardown doesn't fall to the garbage collector.
+            for process in processes:
+                process.close()
+            raise
+
+    # -- journaling ----------------------------------------------------------
+
+    def _journal_barrier(self, wave: int, kind: str):
+        """A gate/latch subscriber that journals one wave boundary."""
+        def record() -> None:
+            self.journal.wave_barrier(self._engine.now, wave, kind)
+        return record
+
+    def _journal_checkpoint(self) -> None:
+        """Journal a digest of the rebuildable controller state.
+
+        Runs at each wave-done barrier.  Replay cross-checks the digest
+        byte-for-byte, so a recovered controller proves its placement map,
+        host records and fault-stream RNG positions match the crashed run.
+        """
+        self.journal.checkpoint(
+            self._engine.now,
+            self._state_digest(),
+            done_hosts=sum(1 for r in self.records.values()
+                           if r.state is HostState.DONE),
+            migrations_executed=self._migrations_executed,
+        )
+
+    def _state_digest(self) -> bytes:
+        """SHA-256 over a canonical rendering of the recoverable state.
+
+        Rendered as the ``repr`` of plain sorted tuples rather than JSON:
+        the digest only has to be deterministic (replay byte-compares it
+        against the journaled checkpoint), and tuple repr keeps the whole
+        1000-host walk at C speed so checkpointing stays off the
+        campaign's critical path.  The digest is deliberately slim: host
+        names are implied by sorted order (naming is a deterministic
+        function of the journaled config), and per-host retry/rollback/
+        skip counters are transitively bound already — every retry and
+        rollback emits transitions that replay byte-compares one by one.
+        """
+        states = [record.state.value
+                  for _, record in sorted(self.records.items())]
+        draws = [stream.draws
+                 for _, stream in sorted(self._streams.items())]
+        state = (sorted(self._aborted), states, self._migrations_executed,
+                 self._placement_sig, draws)
+        return hashlib.sha256(repr(state).encode("utf-8")).digest()
 
     # -- host state machine --------------------------------------------------
 
@@ -498,5 +606,8 @@ class FleetController:
 
     def _commit_move(self, vm: str, source: str, destination: str) -> None:
         self.placement[vm] = destination
+        if self.journal is not None:
+            move = f"{vm}\x1f{source}\x1f{destination}".encode("utf-8")
+            self._placement_sig = zlib.crc32(move, self._placement_sig)
         self._ledger.release(source)
         self._migrations_executed += 1

@@ -68,12 +68,17 @@ class HostFaultStream:
         # Random.seed(str) hashes via SHA-512 — stable across processes,
         # unlike built-in str hashing.
         self._rng = random.Random(f"fleet:{seed}:{host}")
+        #: RNG draws consumed so far — the stream position.  Campaign
+        #: checkpoints digest this so a recovered run proves its fault
+        #: streams sit exactly where the crashed run left them.
+        self.draws = 0
 
     def strikes(self, phase: FailurePhase) -> bool:
         """Draw whether ``phase`` faults on this attempt."""
         rate = self._rates.get(phase, 0.0)
         if rate <= 0.0:
             return False
+        self.draws += 1
         return self._rng.random() < rate
 
 

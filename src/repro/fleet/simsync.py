@@ -185,6 +185,17 @@ class FleetProcess:
         self._engine.call_after(0.0, self._step)
         return self
 
+    def close(self) -> None:
+        """Abandon the process: drop its suspended frame without running it.
+
+        Crash teardown calls this so host generators are closed in a
+        deterministic order instead of by the garbage collector, whose
+        arbitrary close order of ``yield from`` chains spills
+        "generator already executing" noise onto stderr.
+        """
+        self.done = True
+        self._gen.close()
+
     def _step(self) -> None:
         if self.done:
             return

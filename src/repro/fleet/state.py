@@ -91,12 +91,25 @@ class FleetTrace:
     The controller appends in simulated-event order, so replaying the list
     reconstructs the exact interleaving — the basis for the concurrency-cap
     invariant test and the hosts-remediated-over-time curve.
+
+    With a ``journal`` attached (any object with a ``transition()`` method,
+    e.g. :class:`repro.journal.CampaignJournal`), every transition is made
+    durable *before* it lands in the in-memory trace — and therefore before
+    :meth:`HostRecord.transition` mutates ``state`` — which is the
+    write-ahead ordering crash recovery depends on.
     """
 
-    def __init__(self):
+    def __init__(self, journal=None):
+        self.journal = journal
         self.transitions: List[Transition] = []
 
     def append(self, transition: Transition) -> None:
+        if self.journal is not None:
+            self.journal.transition(
+                transition.time_s, transition.host,
+                transition.source.value, transition.target.value,
+                transition.reason,
+            )
         self.transitions.append(transition)
 
     def for_host(self, host: str) -> List[Transition]:

@@ -37,6 +37,7 @@ END_FRAME = 0
 
 _HEADER = struct.Struct("<IBBI")
 _CRC = struct.Struct("<I")
+_U32 = struct.Struct("<I")
 
 #: fixed per-frame overhead: header + CRC32 trailer.
 FRAME_OVERHEAD = _HEADER.size + _CRC.size
@@ -48,6 +49,17 @@ class Packer:
     def __init__(self):
         self._parts: List[bytes] = []
         self._length = 0
+
+    def reset(self) -> "Packer":
+        """Clear accumulated parts so one Packer can serve many records.
+
+        High-volume encoders (the campaign journal appends thousands of
+        records per run) reuse a single instance to keep per-record
+        allocations — and with them GC pressure — off their hot path.
+        """
+        self._parts.clear()
+        self._length = 0
+        return self
 
     def u8(self, value: int) -> "Packer":
         return self._pack("<B", value)
@@ -64,8 +76,26 @@ class Packer:
     def i64(self, value: int) -> "Packer":
         return self._pack("<q", value)
 
+    def f64(self, value: float) -> "Packer":
+        return self._pack("<d", value)
+
+    def string(self, value: str) -> "Packer":
+        """Length-prefixed UTF-8 string (u32 byte length + bytes)."""
+        data = value.encode("utf-8")
+        size = len(data)
+        if size > 0xFFFFFFFF:
+            raise StateFormatError(
+                f"string of {size} bytes exceeds the u32 length prefix")
+        # Hot path for per-record codecs (journal transitions): one
+        # pre-compiled struct and two list appends, no intermediate copy.
+        self._parts.append(_U32.pack(size))
+        self._parts.append(data)
+        self._length += 4 + size
+        return self
+
     def raw(self, data: bytes) -> "Packer":
-        data = bytes(data)
+        if not isinstance(data, bytes):
+            data = bytes(data)
         self._parts.append(data)
         self._length += len(data)
         return self
@@ -118,6 +148,17 @@ class Unpacker:
 
     def i64(self) -> int:
         return self._unpack("<q", 8)
+
+    def f64(self) -> float:
+        return self._unpack("<d", 8)
+
+    def string(self) -> str:
+        """Length-prefixed UTF-8 string (u32 byte length + bytes)."""
+        length = self.u32()
+        try:
+            return self.raw(length).decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise StateFormatError(f"malformed UTF-8 string blob: {exc}")
 
     def raw(self, length: int) -> bytes:
         if length < 0 or self.remaining < length:

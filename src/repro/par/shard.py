@@ -53,11 +53,15 @@ def merge_snapshots(snapshots: Sequence[Dict[str, object]]
 
     Counters sum and histograms sum bucket-wise (both commutative and
     associative, so completion order cannot leak into the result); gauges
-    take the max, the only order-independent reduction for point-in-time
-    values.  Metrics present in only some shards merge with the rest
-    absent-as-zero.  Shards that registered the *same* histogram with
-    different bucket bounds are a configuration bug and raise
-    :class:`ParError`.
+    resolve to the **latest writer** — the snapshot whose ``seq`` stamp
+    (see :class:`repro.obs.metrics.UpdateSequencer`) is highest, with the
+    larger value breaking stamp ties.  Taking a lexicographic max of
+    ``(seq, value)`` keeps the reduction commutative and associative
+    while staying correct for gauges that legitimately decrease (an
+    in-flight count ending at 0 must merge to 0, not its peak).  Metrics
+    present in only some shards merge with the rest absent-as-zero.
+    Shards that registered the *same* histogram with different bucket
+    bounds are a configuration bug and raise :class:`ParError`.
     """
     merged: Dict[str, Dict[str, object]] = {}
     for snapshot in snapshots:
@@ -97,7 +101,10 @@ def _merge_metric(name: str, into: Dict[str, object],
     if kind == "counter":
         into["value"] = into["value"] + metric["value"]
     elif kind == "gauge":
-        into["value"] = max(into["value"], metric["value"])
+        # Latest writer wins; snapshots predating the seq stamp sort as 0.
+        challenger = (metric.get("seq", 0), metric["value"])
+        if challenger > (into.get("seq", 0), into["value"]):
+            into["seq"], into["value"] = challenger
     elif kind == "histogram":
         _merge_histogram(name, into, metric)
     else:

@@ -503,6 +503,7 @@ class TestEngineAndReporters:
             "exception-hygiene",
             "frame-protocol-symmetry",
             "io-format-hygiene",
+            "journal-hygiene",
             "par-entrypoint-hygiene",
             "par-payload-hygiene",
             "registry-completeness",

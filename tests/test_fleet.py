@@ -329,6 +329,43 @@ class TestFailureInjection:
         with pytest.raises(FleetError):
             FailureInjector(1.5)
 
+    def test_retry_budget_is_per_phase_not_cumulative(self):
+        # Regression: a host that fails once in evacuation AND once in
+        # kexec AND once in verify must survive with max_retries=1 — each
+        # phase owns a fresh attempt counter.  A cumulative budget would
+        # exhaust after the first phase's retry and roll the host back.
+        class OneFaultPerPhase(FailureInjector):
+            """Scripted: node00's first attempt of every phase faults."""
+
+            def stream_for(self, host):
+                stream = super().stream_for(host)
+                if host == "node00":
+                    pending = set(FailurePhase)
+
+                    def scripted(phase, _stream=stream, _pending=pending):
+                        _stream.draws += 1
+                        if phase in _pending:
+                            _pending.discard(phase)
+                            return True
+                        return False
+
+                    stream.strikes = scripted
+                return stream
+
+        config = FleetConfig(hosts=4, vms_per_host=4, inplace_fraction=0.0,
+                             group_size=2, seed=11)
+        controller = FleetController(
+            config,
+            injector=OneFaultPerPhase(0.0, seed=config.seed),
+            retry=RetryPolicy(max_retries=1, backoff_base_s=1.0),
+        )
+        metrics = controller.run()
+        record = controller.records["node00"]
+        assert record.state is HostState.DONE
+        assert record.retries == len(FailurePhase)  # one per phase
+        assert record.rollbacks == 0
+        assert metrics.rolled_back_hosts == 0
+
 
 class TestRollback:
     def _forced(self, phase, **overrides):

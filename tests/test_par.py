@@ -189,12 +189,59 @@ def _registry(counter=0.0, gauge=0.0, observations=()):
 
 
 class TestMergeSnapshots:
-    def test_counters_sum_gauges_max(self):
+    def test_counters_sum_gauges_latest_writer(self):
         a = _registry(counter=3, gauge=5).snapshot()
         b = _registry(counter=4, gauge=2).snapshot()
         merged = merge_snapshots([a, b])
         assert merged["metrics"]["jobs_total"]["value"] == 7.0
+        # equal seq stamps (one set() each): larger value breaks the tie
         assert merged["metrics"]["inflight"]["value"] == 5.0
+
+    def test_decreasing_gauge_merges_to_latest_not_peak(self):
+        # Inline, one registry sees the whole history: 10 in flight,
+        # then the campaign drains to 0.
+        inline = MetricsRegistry()
+        gauge = inline.gauge("inflight")
+        gauge.set(10)
+        gauge.set(0)
+        inline_value = inline.snapshot()["metrics"]["inflight"]["value"]
+
+        # The same history split across two shards with disjoint seq
+        # ranges.  A merge-by-max reports the peak (10.0) — the inline
+        # vs 2-worker divergence this regression test pins; the
+        # (seq, value) latest-writer merge must agree with inline.
+        first = MetricsRegistry(seq_start=0)
+        first.gauge("inflight").set(10)
+        second = MetricsRegistry(seq_start=10**9)
+        second.gauge("inflight").set(0)
+        merged = merge_snapshots([first.snapshot(), second.snapshot()])
+        assert inline_value == 0.0
+        assert merged["metrics"]["inflight"]["value"] == inline_value
+
+    def test_decreasing_gauge_merge_is_order_independent(self):
+        first = MetricsRegistry(seq_start=0)
+        first.gauge("inflight").set(10)
+        second = MetricsRegistry(seq_start=10**9)
+        second.gauge("inflight").set(0)
+        snaps = [first.snapshot(), second.snapshot()]
+        forward = merge_snapshots(snaps)["metrics"]["inflight"]
+        backward = merge_snapshots(list(reversed(snaps)))["metrics"]["inflight"]
+        assert forward == backward
+        assert forward["value"] == 0.0
+
+    def test_legacy_snapshots_without_seq_fall_back_to_value_max(self):
+        # v1 snapshots predate the seq stamp; they sort as seq 0, so a
+        # mixed merge degrades to the old max-by-value behaviour instead
+        # of crashing.
+        legacy = _registry(gauge=7).snapshot()
+        del legacy["metrics"]["inflight"]["seq"]
+        current = _registry(gauge=3).snapshot()
+        merged = merge_snapshots([legacy, current])
+        assert merged["metrics"]["inflight"]["value"] == 3.0  # seq 1 > 0
+        tied = _registry(gauge=9).snapshot()
+        del tied["metrics"]["inflight"]["seq"]
+        merged = merge_snapshots([legacy, tied])
+        assert merged["metrics"]["inflight"]["value"] == 9.0
 
     def test_histograms_merge_bucketwise(self):
         a = _registry(observations=[0.5, 50.0]).snapshot()

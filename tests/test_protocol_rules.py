@@ -594,6 +594,100 @@ class TestControllerMutation:
         assert len(finding.fingerprint()) == 16
 
 
+# -- journal-hygiene ----------------------------------------------------------
+
+
+class TestJournalHygiene:
+    VIOLATION = {
+        "fleet/controller.py": src("""
+            class Host:
+                def demote(self, now):
+                    self.record.state = "failed"
+                    self.journal.transition(now, self.name,
+                                            "running", "failed")
+        """)
+    }
+
+    CLEAN_TWIN = {
+        "fleet/controller.py": src("""
+            class Host:
+                def demote(self, now):
+                    self.journal.transition(now, self.name,
+                                            "running", "failed")
+                    self.record.state = "failed"
+        """)
+    }
+
+    def test_mutation_before_append_is_flagged(self):
+        findings, _ = analyze(self.VIOLATION, rules=["journal-hygiene"])
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.rule == "journal-hygiene"
+        assert finding.path == "fleet/controller.py"
+        assert finding.line == 3
+        assert finding.symbol == "Host.demote"
+        assert "append first" in finding.message
+
+    def test_append_then_mutate_is_clean(self):
+        findings, _ = analyze(self.CLEAN_TWIN, rules=["journal-hygiene"])
+        assert findings == []
+
+    def test_mutation_in_append_failure_handler_is_flagged(self):
+        # The exception edge out of the append carries the unjournaled
+        # fact: if transition() raised, nothing became durable, so the
+        # handler's mutation still runs ahead of the log.
+        findings, _ = analyze({
+            "fleet/controller.py": src("""
+                class Host:
+                    def demote(self, now):
+                        try:
+                            self.journal.transition(now, self.name,
+                                                    "running", "failed")
+                        except OSError:
+                            self.record.state = "failed"
+            """)
+        }, rules=["journal-hygiene"])
+        assert len(findings) == 1
+        assert findings[0].line == 7
+
+    def test_one_unjournaled_branch_is_enough(self):
+        findings, _ = analyze({
+            "fleet/controller.py": src("""
+                class Host:
+                    def demote(self, now, urgent):
+                        if urgent:
+                            self.journal.transition(now, self.name,
+                                                    "running", "failed")
+                        self.record.state = "failed"
+            """)
+        }, rules=["journal-hygiene"])
+        assert len(findings) == 1
+        assert "on some path" in findings[0].message
+
+    def test_modules_outside_the_journal_scope_are_exempt(self):
+        sources = {"core/widget.py": self.VIOLATION["fleet/controller.py"]}
+        findings, _ = analyze(sources, rules=["journal-hygiene"])
+        assert findings == []
+
+    def test_mutation_without_any_append_is_not_a_composite(self):
+        # A plain state machine that never journals is out of the rule's
+        # jurisdiction — only mixed append+mutate functions are held to
+        # write-ahead ordering.
+        findings, _ = analyze({
+            "fleet/machine.py": src("""
+                class Host:
+                    def demote(self):
+                        self.record.state = "failed"
+            """)
+        }, rules=["journal-hygiene"])
+        assert findings == []
+
+    def test_shipped_fleet_and_journal_modules_are_clean(self):
+        project = Project.from_directory(REPRO_ROOT)
+        findings, _ = run_analysis(project, rule_names=["journal-hygiene"])
+        assert [f.message for f in findings] == []
+
+
 # -- frame-protocol-symmetry --------------------------------------------------
 
 
