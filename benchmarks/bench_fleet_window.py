@@ -3,8 +3,10 @@
 The paper measures the transplant itself (Figs. 6-13); this bench seeds the
 perf trajectory for the fleet control plane layered on top: how the
 disclosure->remediated window distribution (p50/p95/p99/max) scales from 10
-to 1000 hosts, and how injected per-phase failures (kexec hang, migration
-stall, UISR verify mismatch) stretch the tail.
+to 1000 hosts, how injected per-phase failures (kexec hang, migration
+stall, UISR verify mismatch) stretch the tail, and what each §4.5.2
+mechanism policy (inplace / migration / auto, vs the hybrid grid) costs
+at the largest failure-free cell.
 
 Every cell of the sweep is an independent seeded campaign, so the sweep
 runs through :class:`repro.par.ParallelRunner` (``--workers N``); the
@@ -31,12 +33,15 @@ from repro.par import ParallelRunner
 FLEET_SIZES = [10, 100, 1000]
 SMOKE_SIZES = [10]
 FAIL_RATES = [0.0, 0.01, 0.05]
+#: §4.5.2 policies swept at the largest failure-free cell; "hybrid" is
+#: the default every other cell already runs
+MECHANISMS = ["inplace", "migration", "auto"]
 SEED = 42
 
 DEFAULT_JSON_PATH = Path(__file__).resolve().parent / "BENCH_fleet_window.json"
 
 PAYLOAD_FORMAT = "hypertp-bench-fleet-window"
-PAYLOAD_VERSION = 2
+PAYLOAD_VERSION = 3
 
 
 def measure_cell(cell):
@@ -55,10 +60,11 @@ def measure_cell(cell):
 
     hosts = cell["hosts"]
     fail_rate = cell["fail_rate"]
+    mechanism = cell.get("mechanism", "hybrid")
     seed = cell.get("seed", SEED)
     config = FleetConfig(hosts=hosts, vms_per_host=10, inplace_fraction=0.8,
                          group_size=max(2, hosts // 5), seed=seed,
-                         concurrency=8)
+                         concurrency=8, mechanism=mechanism)
     controller = FleetController(
         config,
         injector=FailureInjector(fail_rate, seed=seed),
@@ -71,12 +77,14 @@ def measure_cell(cell):
         "entry": {
             "hosts": hosts,
             "fail_rate": fail_rate,
+            "mechanism": mechanism,
             "seed": seed,
             "done_hosts": metrics.done_hosts,
             "rolled_back_hosts": metrics.rolled_back_hosts,
             "retries_total": metrics.retries_total,
             "rollbacks_total": metrics.rollbacks_total,
             "migrations_executed": metrics.migrations_executed,
+            "mechanism_mix": controller.mechanism_mix(),
             "fleet_window_s": metrics.fleet_window_s,
             "percentiles_s": metrics.window_percentiles_s,
         },
@@ -86,12 +94,22 @@ def measure_cell(cell):
 
 def sweep_cells(smoke=False):
     sizes = SMOKE_SIZES if smoke else FLEET_SIZES
-    return [{"hosts": hosts, "fail_rate": rate, "seed": SEED}
-            for hosts in sizes for rate in FAIL_RATES]
+    cells = [{"hosts": hosts, "fail_rate": rate, "seed": SEED,
+              "mechanism": "hybrid"}
+             for hosts in sizes for rate in FAIL_RATES]
+    # The §4.5.2 policy sweep: largest failure-free cell, one campaign
+    # per non-default mechanism (hybrid is the grid above).
+    cells.extend({"hosts": sizes[-1], "fail_rate": 0.0, "seed": SEED,
+                  "mechanism": mechanism}
+                 for mechanism in MECHANISMS)
+    return cells
 
 
 def cell_label(cell):
-    return f"hosts{cell['hosts']}-fail{cell['fail_rate']:g}"
+    label = f"hosts{cell['hosts']}-fail{cell['fail_rate']:g}"
+    if cell.get("mechanism", "hybrid") != "hybrid":
+        label += f"-{cell['mechanism']}"
+    return label
 
 
 def run(smoke=False, workers=1):
@@ -118,6 +136,7 @@ def write_json(results, path=DEFAULT_JSON_PATH, workers=1, stats=None,
         "cell_walls_s": [
             {"hosts": r["entry"]["hosts"],
              "fail_rate": r["entry"]["fail_rate"],
+             "mechanism": r["entry"]["mechanism"],
              "wall_s": r["wall_s"]}
             for r in results
         ],
@@ -138,9 +157,11 @@ def to_rows(results):
         rows.append([
             entry["hosts"],
             f"{entry['fail_rate']:.0%}",
+            entry["mechanism"],
             entry["done_hosts"],
             entry["rolled_back_hosts"],
             entry["retries_total"],
+            entry["migrations_executed"],
             f"{pct['p50']:.1f}" if pct else "-",
             f"{pct['p95']:.1f}" if pct else "-",
             f"{pct['p99']:.1f}" if pct else "-",
@@ -150,8 +171,8 @@ def to_rows(results):
     return rows
 
 
-HEADERS = ["hosts", "fail", "done", "rolled back", "retries",
-           "p50 (s)", "p95 (s)", "p99 (s)", "max (s)", "wall (s)"]
+HEADERS = ["hosts", "fail", "mech", "done", "rolled back", "retries",
+           "migr", "p50 (s)", "p95 (s)", "p99 (s)", "max (s)", "wall (s)"]
 
 
 def test_fleet_window_sweep(benchmark):

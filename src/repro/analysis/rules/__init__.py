@@ -11,6 +11,7 @@ from repro.analysis.rules import (  # noqa: F401
     hygiene,
     io_hygiene,
     journal_hygiene,
+    mechanism_hygiene,
     obs_hygiene,
     par_hygiene,
     registry_complete,

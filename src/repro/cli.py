@@ -114,6 +114,11 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--seed", type=int, default=42)
     fleet.add_argument("--concurrency", type=int, default=8,
                        help="max hosts in flight at once (0 = unbounded)")
+    fleet.add_argument("--mechanism", default="hybrid",
+                       choices=("inplace", "migration", "hybrid", "auto"),
+                       help="per-host transplant mechanism policy "
+                            "(§4.5.2): hybrid evacuates exactly the "
+                            "InPlaceTP-incompatible VMs (default)")
     fleet.add_argument("--sequential-groups", action="store_true",
                        help="strict Fig. 13 wave semantics (no overlap)")
     fleet.add_argument("--fail-rate", type=float, default=0.0,
@@ -413,6 +418,7 @@ def _journaled_fleet_result(args, payload):
         controller = FleetController(config, **kwargs)
     metrics = controller.run()
     result = {"document": metrics.to_dict()}
+    result["mechanism_mix"] = controller.mechanism_mix()
     if tracer is not None:
         result["spans"] = spans_to_payload(tracer.trace)
     return result
@@ -435,6 +441,7 @@ def cmd_fleet(args) -> int:
             "seed": args.seed,
             "concurrency": args.concurrency if args.concurrency > 0 else None,
             "sequential_groups": args.sequential_groups,
+            "mechanism": args.mechanism,
             "trigger_cve": args.cve,
             "current_hypervisor": args.current.value,
             "pool": pool,
@@ -487,6 +494,18 @@ def cmd_fleet(args) -> int:
           f"hosts ({robustness['rolled_back_hosts']} rolled back)")
     print(f"  migrations : {robustness['migrations_executed']} executed, "
           f"{robustness['migrations_skipped']} skipped")
+    mix = result.get("mechanism_mix") or {}
+    if mix:
+        summary = ", ".join(
+            f"{kind} {entry['hosts']} host(s)/{entry['vms']} VM(s)"
+            + (f" ({entry['evacuations']} evac)"
+               if entry["evacuations"] else "")
+            for kind, entry in mix.items()
+        )
+        # The document, not args: a --resume run takes the journal's
+        # configured mechanism, whatever the flag says.
+        policy = campaign.get("mechanism", "hybrid")
+        print(f"  mechanisms : [{policy}] {summary}")
     print(f"  robustness : {robustness['retries_total']} retries, "
           f"{robustness['rollbacks_total']} rollbacks")
     if window["percentiles_s"]:

@@ -27,11 +27,17 @@ from repro.cluster.plan import (
 class BtrPlacePlanner:
     """Plans a rolling-upgrade campaign over a cluster."""
 
-    def __init__(self, cluster: Cluster, group_size: int = 2):
+    def __init__(self, cluster: Cluster, group_size: int = 2, rides=None):
         if group_size < 1:
             raise PlanningError(f"group size must be >= 1, got {group_size}")
         self.cluster = cluster
         self.group_size = group_size
+        # Predicate deciding which VMs ride the micro-reboot instead of
+        # migrating.  The default is the paper's §4.5.2 split (evacuate
+        # exactly the InPlaceTP-incompatible VMs); a MechanismPolicy
+        # passes its own per-VM verdict here.
+        self.rides = rides if rides is not None else (
+            lambda vm: vm.inplace_compatible)
         self._rr_cursor = 0  # spread placement rotates over live nodes
         # The node set is fixed for the life of a plan; sorting once keeps
         # destination picks O(live) instead of O(n log n) per migration,
@@ -57,7 +63,7 @@ class BtrPlacePlanner:
                 node = self.cluster.nodes[node_name]
                 staying = []
                 for vm in list(self.cluster.vms_on(node_name)):
-                    if vm.inplace_compatible:
+                    if self.rides(vm):
                         staying.append(vm)
                         continue
                     dest = self._pick_destination(group, vm.name)

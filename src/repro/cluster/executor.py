@@ -9,69 +9,28 @@ Execution semantics follow the paper's setup:
 * groups execute sequentially — that is what "sequentially putting each
   group offline" means.
 
-The per-action costs are exposed as module-level functions
-(:func:`migration_action_time_s`, :func:`inplace_action_time_s`) so other
-consumers — notably the :mod:`repro.fleet` control plane — time the exact
-same actions with the exact same model the Fig. 13 campaign uses.
+Per-action costs come from the staged transplant pipeline
+(:mod:`repro.core.pipeline`): the executor holds one
+:class:`~repro.core.pipeline.TransplantPipelines` bundle and asks it for
+a :class:`~repro.core.pipeline.StagePlan` per action, so the Fig. 13
+campaign, the fleet control plane and ``HyperTP.upgrade_host`` all time
+the exact same actions with the exact same floats.
 """
 
 from dataclasses import dataclass, field
 from typing import List, Tuple
 
 from repro.cluster.plan import InPlaceAction, MigrationAction, ReconfigurationPlan
-from repro.hw.machine import CLUSTER_NODE_SPEC, Machine, MachineSpec
-from repro.hw.memory import PAGE_2M
+from repro.hw.machine import CLUSTER_NODE_SPEC, MachineSpec
 from repro.obs import NULL_TRACER, Span
-from repro.sim.resources import effective_tcp_rate, gigabits
+from repro.core.pipeline import StagePlan, TransplantPipelines, fabric_link_rate
 from repro.core.timings import DEFAULT_COST_MODEL, CostModel
-from repro.core.migration import plan_precopy
 from repro.hypervisors.base import HypervisorKind
 
 
 def cluster_link_rate(node_spec: MachineSpec = CLUSTER_NODE_SPEC) -> float:
     """Effective bytes/s of the shared migration fabric for ``node_spec``."""
-    return effective_tcp_rate(gigabits(node_spec.nic_gbps))
-
-
-def migration_action_time_s(action: MigrationAction, link_rate: float,
-                            cost: CostModel = DEFAULT_COST_MODEL,
-                            target_kind: HypervisorKind = HypervisorKind.KVM,
-                            ) -> float:
-    """Wall time of one evacuation migration over a ``link_rate`` fabric.
-
-    Pre-copy rounds follow the migration cost model; the stop-and-copy
-    downtime depends on the destination hypervisor's activation cost.
-    """
-    rounds = plan_precopy(
-        action.memory_bytes, link_rate,
-        action.workload.dirty_rate_bytes_s, cost,
-    )
-    precopy = cost.migration_setup_s + sum(r.duration_s for r in rounds)
-    residual = rounds[-1].dirty_after_bytes
-    downtime = (residual / link_rate
-                + cost.stopcopy_overhead_s(target_kind, 1))
-    return precopy + downtime
-
-
-def inplace_action_time_s(action: InPlaceAction, machine: Machine,
-                          cost: CostModel = DEFAULT_COST_MODEL,
-                          target_kind: HypervisorKind = HypervisorKind.KVM,
-                          ) -> float:
-    """InPlaceTP wall time for one host carrying ``action.vm_count`` VMs."""
-    entries_per_vm = (
-        cost.entries_for(
-            action.total_memory_bytes // max(1, action.vm_count), PAGE_2M,
-            huge_pages=True,
-        )
-        if action.vm_count else 0
-    )
-    entry_counts = [entries_per_vm] * action.vm_count
-    vm_shapes = [(1, entries_per_vm)] * action.vm_count
-    pram = cost.pram_phase_s(machine, entry_counts) if action.vm_count else 0.0
-    translation = cost.translate_phase_s(machine, vm_shapes)
-    reboot = cost.reboot_phase_s(machine, target_kind, sum(entry_counts))
-    restoration = cost.restore_phase_s(machine, vm_shapes)
-    return pram + translation + reboot + restoration
+    return fabric_link_rate(node_spec)
 
 
 @dataclass
@@ -93,7 +52,7 @@ class ExecutionResult:
 
 
 class PlanExecutor:
-    """Times a :class:`ReconfigurationPlan` against the cost model."""
+    """Times a :class:`ReconfigurationPlan` against the staged pipeline."""
 
     def __init__(self, node_spec: MachineSpec = CLUSTER_NODE_SPEC,
                  cost_model: CostModel = DEFAULT_COST_MODEL,
@@ -103,22 +62,30 @@ class PlanExecutor:
         self.cost = cost_model
         self.target_kind = target_kind
         self.tracer = tracer
-        self._link_rate = cluster_link_rate(node_spec)
-        # A representative machine instance for host-side cost lookups.
-        self._reference_machine = Machine(node_spec, name="cluster-reference")
+        self.pipelines = TransplantPipelines(
+            node_spec=node_spec, cost=cost_model)
+        self._link_rate = self.pipelines.link_rate
 
-    # -- per-action costs ----------------------------------------------------
+    # -- per-action stage plans ----------------------------------------------
+
+    def migration_plan(self, action: MigrationAction) -> StagePlan:
+        """MigrationTP stage plan for one evacuation over the fabric."""
+        return self.pipelines.migration(self.target_kind).plan_vm(
+            action.vm_name, action.memory_bytes,
+            action.workload.dirty_rate_bytes_s,
+        )
+
+    def upgrade_plan(self, action: InPlaceAction) -> StagePlan:
+        """InPlaceTP stage plan for one host carrying ``vm_count`` VMs."""
+        return self.pipelines.inplace(self.target_kind).plan_host(
+            action.node_name, action.vm_count, action.total_memory_bytes,
+        )
 
     def migration_time_s(self, action: MigrationAction) -> float:
-        return migration_action_time_s(
-            action, self._link_rate, self.cost, self.target_kind,
-        )
+        return self.migration_plan(action).total_s
 
     def upgrade_time_s(self, action: InPlaceAction) -> float:
-        """InPlaceTP wall time for one host carrying ``vm_count`` VMs."""
-        return inplace_action_time_s(
-            action, self._reference_machine, self.cost, self.target_kind,
-        )
+        return self.upgrade_plan(action).total_s
 
     # -- whole plan -----------------------------------------------------------
 
@@ -133,7 +100,8 @@ class PlanExecutor:
             group_start = now
             group_migration = 0.0
             for action in group.migrations:
-                t = self.migration_time_s(action)
+                stage_plan = self.migration_plan(action)
+                t = stage_plan.total_s
                 per_migration.append((action.vm_name, t))
                 if traced:
                     self.tracer.add(Span(
@@ -141,6 +109,8 @@ class PlanExecutor:
                         now, now + t, track="cluster/migrations",
                         args={"vm": action.vm_name},
                     ))
+                    self.tracer.extend(stage_plan.spans(
+                        now, track=f"cluster/migrations/{action.vm_name}"))
                 now += t
                 group_migration += t
             # Hosts in a group reboot in parallel.
@@ -149,12 +119,15 @@ class PlanExecutor:
             )
             if traced:
                 for action in group.upgrades:
-                    t = self.upgrade_time_s(action)
+                    stage_plan = self.upgrade_plan(action)
+                    t = stage_plan.total_s
                     self.tracer.add(Span(
                         f"upgrade {action.node_name}", "upgrade",
                         now, now + t, track="cluster/upgrades",
                         args={"vm_count": action.vm_count},
                     ))
+                    self.tracer.extend(stage_plan.spans(
+                        now, track=f"cluster/upgrades/{action.node_name}"))
             now += group_upgrade
             if traced:
                 self.tracer.add(Span(

@@ -32,6 +32,7 @@ from repro.obs import NULL_TRACER, Span
 from repro.sim.clock import SimClock
 from repro.core.kexec import load_kexec_image, micro_reboot
 from repro.core.optimizations import DEFAULT_OPTIMIZATIONS, OptimizationConfig
+from repro.core.pipeline import InPlacePipeline, StagePlan, VerifySpec
 from repro.core.pram import PRAMFilesystem
 from repro.core.timings import DEFAULT_COST_MODEL, CostModel
 from repro.core.uisr.codec import encode_uisr
@@ -111,6 +112,30 @@ class InPlaceTP:
     def _checkpoint(self, phase: str) -> None:
         if self.failure_hook is not None:
             self.failure_hook(phase)
+
+    def stage_plan(self, verify: Optional[VerifySpec] = None) -> StagePlan:
+        """The staged cost breakdown for this machine's live population.
+
+        Predicts the run without mutating anything: the same
+        quiesce/capture/translate/transfer/restore stages the planners
+        charge, derived from the actual domains on the source
+        hypervisor.  Assumes prepare-ahead and the cost model's default
+        parallelism (the configuration the pipeline layer models).
+        """
+        domains = sorted(self.source.domains.values(), key=lambda d: d.domid)
+        vm_shapes = []
+        entry_counts = []
+        for domain in domains:
+            entries = self.cost.entries_for(
+                domain.vm.image.size_bytes, domain.vm.image.page_size,
+                self.opts.huge_pages,
+            )
+            vm_shapes.append((domain.vm.config.vcpus, entries))
+            entry_counts.append(entries)
+        pipeline = InPlacePipeline(self.machine, self.cost,
+                                   self.target_kind, verify=verify)
+        return pipeline.plan_shapes(self.machine.name, vm_shapes,
+                                    entry_counts)
 
     # -- the full workflow, phase by phase ---------------------------------
 

@@ -377,6 +377,28 @@ class MigrationTP(_MigrationBase):
             )
         self.registry = registry or default_registry()
 
+    def stage_plan(self, domain: Domain,
+                   dirty_rate_bytes_s: float = 1 << 20,
+                   concurrent: int = 1) -> "StagePlan":
+        """The staged cost breakdown for migrating ``domain``.
+
+        Predicts :meth:`migrate` without executing it: the same
+        quiesce/capture/transfer/restore stages the planners charge, plus
+        the UISR proxy pair in the translate stage (``charge_proxy`` —
+        the mechanism simulation bills it, the Fig. 13-calibrated
+        planners do not).
+        """
+        # Deferred: repro.core.pipeline imports plan_precopy from here.
+        from repro.core.pipeline import MigrationPipeline
+
+        pipeline = MigrationPipeline(
+            self._flow_rate(concurrent), self.cost,
+            self.destination.hypervisor.kind, charge_proxy=True,
+        )
+        vm = domain.vm
+        return pipeline.plan_vm(vm.name, vm.image.size_bytes,
+                                dirty_rate_bytes_s, vm.config.vcpus)
+
     def migrate(self, domain: Domain, clock: Optional[SimClock] = None,
                 dirty_rate_bytes_s: float = 1 << 20,
                 concurrent: int = 1,

@@ -17,7 +17,9 @@ waiter per release, so a campaign schedules O(events log events) with no
 per-host polling.  The degenerate configuration — no failures,
 ``sequential_groups=True``, unbounded concurrency — reproduces the
 :class:`repro.cluster.upgrade.UpgradeCampaign` (Fig. 13) total because it
-times the identical plan with the identical per-action cost functions.
+times the identical plan with the identical staged pipeline
+(:mod:`repro.core.pipeline`) — fleet per-host durations are the same
+floats ``HyperTP.upgrade_host`` composes, stage by stage.
 """
 
 import gc
@@ -29,13 +31,17 @@ from typing import Deque, Dict, List, Optional, Set, Tuple
 
 from repro.errors import FleetError
 from repro.cluster.btrplace import BtrPlacePlanner
-from repro.cluster.executor import (
-    cluster_link_rate,
-    inplace_action_time_s,
-    migration_action_time_s,
-)
+from repro.cluster.executor import cluster_link_rate
 from repro.cluster.model import Cluster, build_paper_cluster
 from repro.cluster.plan import InPlaceAction, MigrationAction
+from repro.core.mechanisms import (
+    HostDecision,
+    MechanismPolicy,
+    VMProfile,
+    decide_fleet,
+    mechanism_mix,
+)
+from repro.core.pipeline import Stage, StagePlan, TransplantPipelines, VerifySpec
 from repro.core.timings import DEFAULT_COST_MODEL, CostModel
 from repro.fleet.failures import FailureInjector, FailurePhase, RetryPolicy
 from repro.fleet.metrics import FleetMetrics, collect_metrics
@@ -70,6 +76,9 @@ class FleetConfig:
     kexec_watchdog_s: float = 30.0
     verify_fixed_s: float = 0.01
     verify_per_vm_s: float = 0.002
+    #: per-host mechanism selection (§4.5.2): inplace / migration /
+    #: hybrid / auto — see :mod:`repro.core.mechanisms`
+    mechanism: str = "hybrid"
     trigger_cve: str = "CVE-2016-6258"
     current_hypervisor: str = "xen"
     pool: Tuple[str, ...] = ("xen", "kvm")
@@ -92,6 +101,11 @@ class FleetConfig:
                      "verify_fixed_s", "verify_per_vm_s", "disclosure_at_s"):
             if getattr(self, name) < 0:
                 raise FleetError(f"{name} must be >= 0")
+        valid = ("inplace", "migration", "hybrid", "auto")
+        if self.mechanism not in valid:
+            raise FleetError(
+                f"unknown mechanism {self.mechanism!r}; pick from {valid}"
+            )
 
 
 @dataclass
@@ -101,9 +115,13 @@ class _HostPlan:
     name: str
     wave: int
     upgrade: InPlaceAction
-    # (action, position in the VM's whole-campaign migration chain)
-    evacuations: List[Tuple[MigrationAction, int]] = field(default_factory=list)
+    # (action, position in the VM's whole-campaign migration chain,
+    #  MigrationTP stage plan)
+    evacuations: List[Tuple[MigrationAction, int, StagePlan]] = (
+        field(default_factory=list))
     initial_vms: List[str] = field(default_factory=list)
+    #: InPlaceTP stage plan (verify stage included) for this host
+    plan: Optional[StagePlan] = None
 
 
 class _SlotLedger:
@@ -175,6 +193,16 @@ class FleetController:
         self.target_kind = HypervisorKind(self.advice.recommended_target)
         self._machine = Machine(node_spec, name="fleet-reference")
         self._link_rate = cluster_link_rate(node_spec)
+        # The one cost path: per-host durations come from the same staged
+        # pipeline HyperTP.upgrade_host composes, verify stage included.
+        self._pipelines = TransplantPipelines(
+            machine=self._machine, link_rate=self._link_rate,
+            cost=cost_model,
+            verify=VerifySpec(config.verify_fixed_s, config.verify_per_vm_s),
+        )
+        self.policy = MechanismPolicy(config.mechanism)
+        #: per-host §4.5.2 decisions, populated by run()
+        self.decisions: Dict[str, HostDecision] = {}
         # Populated by run():
         self.trace = FleetTrace(journal=journal)
         self.records: Dict[str, HostRecord] = {}
@@ -187,10 +215,33 @@ class FleetController:
 
     def _build_host_plans(self, cluster: Cluster,
                           initial_vms: Dict[str, List[str]],
+                          initial_free: Dict[str, int],
                           ) -> List[_HostPlan]:
-        planner = BtrPlacePlanner(cluster, group_size=self.config.group_size)
+        # The §4.5.2 decision, per host, on the pristine placement: which
+        # VMs evacuate and which ride.  A VM keeps its evacuate/ride class
+        # for the whole campaign (re-migrations included), exactly like the
+        # legacy inplace_compatible flag the hybrid policy reproduces.
+        profiles = {
+            name: [VMProfile.from_cluster_vm(cluster.vms[vm]) for vm in vms]
+            for name, vms in initial_vms.items()
+        }
+        self.decisions = decide_fleet(
+            self.policy, profiles, initial_free,
+            inplace=self._pipelines.inplace(self.target_kind),
+            migration=self._pipelines.migration(self.target_kind),
+        )
+        evacuate_class = {
+            vm for decision in self.decisions.values()
+            for vm in decision.evacuate
+        }
+        planner = BtrPlacePlanner(
+            cluster, group_size=self.config.group_size,
+            rides=lambda vm: vm.name not in evacuate_class,
+        )
         plan = planner.plan(apply=True)
         self._waves = len(plan.groups)
+        migration_pipeline = self._pipelines.migration(self.target_kind)
+        inplace_pipeline = self._pipelines.inplace(self.target_kind)
         chain_counts: Dict[str, int] = {}
         host_plans: Dict[str, _HostPlan] = {}
         for group in plan.groups:
@@ -200,13 +251,27 @@ class FleetController:
                     wave=group.group_index,
                     upgrade=upgrade,
                     initial_vms=list(initial_vms[upgrade.node_name]),
+                    plan=inplace_pipeline.plan_host(
+                        upgrade.node_name, upgrade.vm_count,
+                        upgrade.total_memory_bytes,
+                    ),
                 )
             for action in group.migrations:
                 position = chain_counts.get(action.vm_name, 0)
                 chain_counts[action.vm_name] = position + 1
-                host_plans[action.source].evacuations.append((action, position))
+                host_plans[action.source].evacuations.append((
+                    action, position,
+                    migration_pipeline.plan_vm(
+                        action.vm_name, action.memory_bytes,
+                        action.workload.dirty_rate_bytes_s,
+                    ),
+                ))
         self._chain_counts = chain_counts
         return [host_plans[name] for name in sorted(host_plans)]
+
+    def mechanism_mix(self) -> Dict[str, Dict[str, int]]:
+        """Resolved per-mechanism host/VM counts (sorted keys)."""
+        return mechanism_mix(self.decisions)
 
     # -- campaign ------------------------------------------------------------
 
@@ -225,7 +290,11 @@ class FleetController:
         self.host_hypervisor = {name: self.source_kind.value
                                 for name in cluster.nodes}
 
-        host_plans = self._build_host_plans(cluster, initial_vms)
+        host_plans = self._build_host_plans(cluster, initial_vms,
+                                            initial_free)
+        #: kept for inspection (the fleet/core parity test reads the
+        #: stage plans the campaign actually charged)
+        self.host_plans = host_plans
 
         engine = Engine(SimClock(cfg.disclosure_at_s))
         self._engine = engine
@@ -345,6 +414,11 @@ class FleetController:
             completed_at_s=completed,
             migrations_executed=self._migrations_executed,
             registry=self.registry,
+            # Only a non-default mechanism annotates the document, so
+            # hybrid campaigns stay byte-identical to pre-policy runs.
+            mechanism=(cfg.mechanism if cfg.mechanism != "hybrid" else None),
+            mechanism_mix=(self.mechanism_mix()
+                           if cfg.mechanism != "hybrid" else None),
         )
         if self.journal is not None:
             # COMMIT carries a digest of the final recoverable state — the
@@ -438,7 +512,7 @@ class FleetController:
         if not hp.evacuations:
             return True  # PENDING -> TRANSPLANTING directly
         record.transition(HostState.EVACUATING, self._engine.now, self.trace)
-        for index, (action, position) in enumerate(hp.evacuations):
+        for index, (action, position, plan) in enumerate(hp.evacuations):
             gates = self._vm_gates[action.vm_name]
             if position > 0:
                 yield gates[position - 1]
@@ -449,7 +523,7 @@ class FleetController:
                     record.skipped_migrations += 1
                 else:
                     ok = yield from self._migrate_with_retry(record, action,
-                                                             position)
+                                                             position, plan)
             # The VM lock is returned here, before the chain gate fires or
             # a rollback starts pulling VMs back.
             if skipped:
@@ -462,7 +536,8 @@ class FleetController:
         return True
 
     def _migrate_with_retry(self, record: HostRecord,
-                            action: MigrationAction, position: int):
+                            action: MigrationAction, position: int,
+                            plan: StagePlan):
         """One evacuation with bounded retry.  Caller holds the VM lock."""
         cfg = self.config
         stream = self._streams[record.name]
@@ -478,8 +553,7 @@ class FleetController:
                     # timeout, the fabric and the reserved slot free up.
                     yield cfg.stall_timeout_s
                 else:
-                    yield migration_action_time_s(action, self._link_rate,
-                                                  self.cost, self.target_kind)
+                    yield plan.total_s
             # The fabric link is returned here on both outcomes.
             if not stalled:
                 self._commit_move(action.vm_name, action.source,
@@ -523,15 +597,16 @@ class FleetController:
             attempt += 1
             record.transition(HostState.TRANSPLANTING, self._engine.now,
                               self.trace)
-        yield inplace_action_time_s(hp.upgrade, self._machine, self.cost,
-                                    self.target_kind)
+        # Execute = every stage up to verify; verify runs in _verify so the
+        # trace's TRANSPLANTING/VERIFYING boundary is a stage boundary.
+        yield hp.plan.execute_s
         return True
 
     def _verify(self, record: HostRecord, hp: _HostPlan):
         cfg = self.config
         stream = self._streams[record.name]
         record.transition(HostState.VERIFYING, self._engine.now, self.trace)
-        verify_s = cfg.verify_fixed_s + cfg.verify_per_vm_s * hp.upgrade.vm_count
+        verify_s = hp.plan.stage_s(Stage.VERIFY)
         attempt = 0
         while True:
             yield verify_s
@@ -542,8 +617,10 @@ class FleetController:
             if self.retry.exhausted(attempt):
                 # The host came up wrong: micro-reboot back to the source
                 # hypervisor (ReHype-style recovery), then report rollback.
-                yield inplace_action_time_s(hp.upgrade, self._machine,
-                                            self.cost, self.source_kind)
+                yield self._pipelines.inplace(self.source_kind).plan_host(
+                    hp.upgrade.node_name, hp.upgrade.vm_count,
+                    hp.upgrade.total_memory_bytes,
+                ).execute_s
                 yield from self._roll_back(record, hp, remaining=[])
                 return False
             record.transition(HostState.RETRYING, self._engine.now,
@@ -565,7 +642,7 @@ class FleetController:
         the source hypervisor.  The host's VMs therefore remain exposed —
         which is exactly what the fleet window metric must report.
         """
-        for action, position in remaining:
+        for action, position, _plan in remaining:
             record.skipped_migrations += 1
             self._abort_vm(action.vm_name)
             self._vm_gates[action.vm_name][position].fire()
@@ -590,9 +667,12 @@ class FleetController:
                     yield self._ledger.reserve(hp.name)
                     with self._link.held() as link:
                         yield link
-                        yield migration_action_time_s(back, self._link_rate,
-                                                      self.cost,
-                                                      self.source_kind)
+                        yield self._pipelines.migration(
+                            self.source_kind,
+                        ).plan_vm(
+                            back.vm_name, back.memory_bytes,
+                            back.workload.dirty_rate_bytes_s,
+                        ).total_s
                     self._commit_move(vm, source, hp.name)
         record.rollbacks += 1
         record.transition(HostState.ROLLED_BACK, self._engine.now, self.trace,

@@ -98,6 +98,12 @@ class FleetMetrics:
     rollbacks_total: int
     migrations_executed: int
     migrations_skipped: int
+    #: non-default mechanism policy, if one was configured.  None (the
+    #: hybrid default) keeps the document byte-identical to pre-policy
+    #: campaigns; any other policy annotates the campaign block and adds
+    #: a top-level mechanism_mix section.
+    mechanism: Optional[str] = None
+    mechanism_mix: Optional[Dict[str, Dict[str, int]]] = None
 
     @property
     def all_terminal(self) -> bool:
@@ -106,7 +112,7 @@ class FleetMetrics:
         return all(h.state in terminal for h in self.per_host)
 
     def to_dict(self) -> Dict:
-        return {
+        document = {
             "format": METRICS_FORMAT,
             "version": METRICS_VERSION,
             "campaign": {
@@ -150,6 +156,10 @@ class FleetMetrics:
                 for h in sorted(self.per_host, key=lambda h: h.name)
             ],
         }
+        if self.mechanism is not None:
+            document["campaign"]["mechanism"] = self.mechanism
+            document["mechanism_mix"] = self.mechanism_mix
+        return document
 
     def to_json(self) -> str:
         return json.dumps(self.to_dict(), indent=2, sort_keys=True)
@@ -202,7 +212,9 @@ def collect_metrics(records: Sequence[HostRecord], trace: FleetTrace, *,
                     target_hypervisor: str, waves: int,
                     disclosure_at_s: float, completed_at_s: float,
                     migrations_executed: int,
-                    registry: Optional[MetricsRegistry] = None
+                    registry: Optional[MetricsRegistry] = None,
+                    mechanism: Optional[str] = None,
+                    mechanism_mix: Optional[Dict[str, Dict[str, int]]] = None,
                     ) -> FleetMetrics:
     """Aggregate host records and the transition trace into fleet metrics.
 
@@ -237,6 +249,8 @@ def collect_metrics(records: Sequence[HostRecord], trace: FleetTrace, *,
         rollbacks_total=sum(h.rollbacks for h in outcomes),
         migrations_executed=migrations_executed,
         migrations_skipped=sum(h.skipped_migrations for h in outcomes),
+        mechanism=mechanism,
+        mechanism_mix=mechanism_mix,
     )
     if registry is not None:
         metrics.report_into(registry)

@@ -679,8 +679,14 @@ class CampaignJournal:
 
 
 def campaign_meta(config, injector, retry) -> Dict:
-    """The CAMPAIGN_META document for a controller's full configuration."""
-    return {
+    """The CAMPAIGN_META document for a controller's full configuration.
+
+    The mechanism policy is journaled only when it differs from the
+    hybrid default: default campaigns stay byte-identical to journals
+    written before the policy knob existed, and :func:`recover` falls
+    back to the FleetConfig default for the missing key either way.
+    """
+    meta = {
         "format": JOURNAL_FORMAT,
         "version": JOURNAL_VERSION,
         "config": {
@@ -714,6 +720,9 @@ def campaign_meta(config, injector, retry) -> Dict:
             "backoff_max_s": retry.backoff_max_s,
         },
     }
+    if config.mechanism != "hybrid":
+        meta["config"]["mechanism"] = config.mechanism
+    return meta
 
 
 def state_digest(document: Dict) -> bytes:

@@ -16,6 +16,7 @@ from repro.errors import OrchestratorError
 from repro.guest.drivers import PassthroughDriver
 from repro.hw.machine import Machine
 from repro.hypervisors.base import Hypervisor, HypervisorKind
+from repro.core.pipeline import InPlacePipeline
 from repro.core.timings import DEFAULT_COST_MODEL, CostModel
 from repro.orchestrator.scheduled_events import AZURE_MAINTENANCE_BOUND_S
 
@@ -70,25 +71,24 @@ class TransplantPolicy:
 
     def predict_inplace_downtime_s(self, machine: Machine,
                                    target: HypervisorKind) -> float:
-        """Predicted InPlaceTP downtime for the host's current population."""
+        """Predicted InPlaceTP downtime for the host's current population.
+
+        Derived from the staged pipeline (the one cost path), so the
+        policy predicts with the same floats the fleet later executes.
+        """
         hypervisor: Hypervisor = machine.hypervisor
         if hypervisor is None:
             raise OrchestratorError(f"{machine.name} has no hypervisor")
         vm_shapes = []
-        total_entries = 0
         for domain in hypervisor.domains.values():
             image = domain.vm.image
             entries = self.cost.entries_for(image.size_bytes,
                                             image.page_size, True)
             vm_shapes.append((domain.vm.config.vcpus, entries))
-            total_entries += entries
         if not vm_shapes:
             vm_shapes = [(0, 0)]
-        return (
-            self.cost.translate_phase_s(machine, vm_shapes)
-            + self.cost.reboot_phase_s(machine, target, total_entries)
-            + self.cost.restore_phase_s(machine, vm_shapes)
-        )
+        pipeline = InPlacePipeline(machine, self.cost, target)
+        return pipeline.plan_shapes(machine.name, vm_shapes).downtime_s
 
     def plan_host(self, machine: Machine,
                   target: HypervisorKind) -> HostPlan:

@@ -106,9 +106,12 @@ def fleet_campaign_task(payload: Dict[str, Any]) -> Dict[str, Any]:
         kwargs["tracer"] = tracer
     if registry is not None:
         kwargs["registry"] = registry
-    metrics = FleetController(config, **kwargs).run()
+    controller = FleetController(config, **kwargs)
+    metrics = controller.run()
 
     result: Dict[str, Any] = {"document": metrics.to_dict()}
+    # Sorted plain dicts: serializes identically from any worker.
+    result["mechanism_mix"] = controller.mechanism_mix()
     if tracer is not None:
         result["spans"] = spans_to_payload(tracer.trace)
     if registry is not None:

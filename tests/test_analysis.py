@@ -504,6 +504,7 @@ class TestEngineAndReporters:
             "frame-protocol-symmetry",
             "io-format-hygiene",
             "journal-hygiene",
+            "mechanism-hygiene",
             "par-entrypoint-hygiene",
             "par-payload-hygiene",
             "registry-completeness",
@@ -730,4 +731,67 @@ class TestIOFormatHygiene:
                             "    return b''.join(parts)\n",
         }
         findings, _ = analyze(sources, rules=["io-format-hygiene"])
+        assert findings == []
+
+
+# -- mechanism-hygiene --------------------------------------------------------
+
+class TestMechanismHygiene:
+    def test_cost_helper_outside_mechanism_layer_flagged(self):
+        sources = {
+            "fleet/controller.py": textwrap.dedent(
+                """
+                def upgrade_time(cost, machine, shapes):
+                    return cost.translate_phase_s(machine, shapes)
+                """
+            ),
+        }
+        findings, _ = analyze(sources, rules=["mechanism-hygiene"])
+        assert len(findings) == 1
+        assert findings[0].path == "fleet/controller.py"
+        assert "translate_phase_s" in findings[0].message
+        assert "StagePlan" in findings[0].message
+
+    def test_plan_precopy_import_alias_resolved(self):
+        sources = {
+            "cluster/executor.py": textwrap.dedent(
+                """
+                from repro.core.migration import plan_precopy as precopy
+
+                def migration_time(memory, rate, dirty, cost):
+                    return precopy(memory, rate, dirty, cost)
+                """
+            ),
+        }
+        findings, _ = analyze(sources, rules=["mechanism-hygiene"])
+        assert len(findings) == 1
+        assert "plan_precopy" in findings[0].message
+
+    def test_mechanism_layer_is_exempt(self):
+        body = textwrap.dedent(
+            """
+            def build(cost, machine, shapes):
+                return cost.restore_phase_s(machine, shapes)
+            """
+        )
+        sources = {path: body for path in (
+            "core/pipeline.py", "core/inplace.py",
+            "core/migration.py", "core/timings.py",
+        )}
+        findings, _ = analyze(sources, rules=["mechanism-hygiene"])
+        assert findings == []
+
+    def test_stage_plan_consumers_are_clean(self):
+        sources = {
+            "fleet/controller.py": textwrap.dedent(
+                """
+                def upgrade_time(pipeline, action):
+                    plan = pipeline.plan_host(action.node_name,
+                                              action.vm_count,
+                                              action.total_memory_bytes)
+                    return plan.total_s
+                """
+            ),
+        }
+        findings, _ = analyze(sources, rules=["mechanism-hygiene"])
         assert findings == []

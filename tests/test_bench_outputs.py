@@ -128,21 +128,31 @@ class TestFleetWindowBench:
         bench = load_bench("bench_fleet_window")
         results, stats = bench.run(smoke=True)
         entries = [r["entry"] for r in results]
-        assert [entry["hosts"] for entry in entries] == [10, 10, 10]
-        assert [entry["fail_rate"] for entry in entries] == [0.0, 0.01, 0.05]
+        assert [entry["hosts"] for entry in entries] == [10] * 6
+        assert [entry["fail_rate"] for entry in entries] == \
+            [0.0, 0.01, 0.05, 0.0, 0.0, 0.0]
+        assert [entry["mechanism"] for entry in entries] == \
+            ["hybrid"] * 3 + ["inplace", "migration", "auto"]
         for result, entry in zip(results, entries):
             assert entry["done_hosts"] + entry["rolled_back_hosts"] == 10
             assert result["wall_s"] >= 0
             assert "wall_s" not in entry  # volatile values stay out
+            mix = entry["mechanism_mix"]
+            assert sum(kind["hosts"] for kind in mix.values()) == 10
             if entry["percentiles_s"]:
                 pct = entry["percentiles_s"]
                 assert pct["p50"] <= pct["p95"] <= pct["p99"] <= pct["max"]
+        by_mechanism = {e["mechanism"]: e for e in entries
+                        if e["fail_rate"] == 0.0}
+        assert by_mechanism["inplace"]["migrations_executed"] == 0
+        assert (by_mechanism["migration"]["migrations_executed"]
+                > by_mechanism["hybrid"]["migrations_executed"])
         path = bench.write_json(results, tmp_path / "BENCH_fleet_window.json",
                                 stats=stats)
         document = json.loads(Path(path).read_text())
         assert document["format"] == "hypertp-bench-artifact"
         assert document["payload"]["format"] == "hypertp-bench-fleet-window"
-        assert len(document["payload"]["results"]) == 3
+        assert len(document["payload"]["results"]) == 6
         assert document["meta"]["workers"] == 1
         assert "host_env" in document["meta"]
         assert "wall_s" in document["meta"]

@@ -5,11 +5,7 @@ import json
 import pytest
 
 from repro.errors import FleetError
-from repro.cluster.executor import (
-    PlanExecutor,
-    inplace_action_time_s,
-    migration_action_time_s,
-)
+from repro.cluster.executor import PlanExecutor
 from repro.cluster.plan import InPlaceAction, MigrationAction
 from repro.cluster.model import WorkloadKind
 from repro.cluster.upgrade import UpgradeCampaign
@@ -44,10 +40,10 @@ def run_campaign(fail_rate=0.0, retry=None, **overrides):
     return controller, controller.run()
 
 
-# -- executor refactor (satellite) -------------------------------------------
+# -- executor on the staged pipeline ------------------------------------------
 
 class TestExecutorCostFunctions:
-    def test_executor_delegates_to_module_functions(self):
+    def test_executor_delegates_to_stage_plans(self):
         executor = PlanExecutor()
         migration = MigrationAction(
             vm_name="vm0", source="a", destination="b",
@@ -55,14 +51,10 @@ class TestExecutorCostFunctions:
         )
         upgrade = InPlaceAction(node_name="a", vm_count=5,
                                 total_memory_bytes=20 * GIB)
-        assert executor.migration_time_s(migration) == migration_action_time_s(
-            migration, executor._link_rate, executor.cost,
-            executor.target_kind,
-        )
-        assert executor.upgrade_time_s(upgrade) == inplace_action_time_s(
-            upgrade, executor._reference_machine, executor.cost,
-            executor.target_kind,
-        )
+        assert (executor.migration_time_s(migration)
+                == executor.migration_plan(migration).total_s)
+        assert (executor.upgrade_time_s(upgrade)
+                == executor.upgrade_plan(upgrade).total_s)
 
     def test_campaign_results_unchanged(self):
         # Pinned against the seed's Fig. 13 behaviour: the refactor must not
