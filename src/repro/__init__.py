@@ -11,6 +11,8 @@ The public API re-exports the pieces a downstream user needs:
   :mod:`repro.cluster`;
 * run fleet-scale emergency-response campaigns — and measure the fleet's
   vulnerability window — with :mod:`repro.fleet`;
+* replay a whole disclosure feed and respond continuously with
+  :mod:`repro.sentinel` (the paper's operational loop as a subsystem);
 * replay the paper's workloads with :mod:`repro.workloads`.
 
 Quickstart::
@@ -77,6 +79,11 @@ _EXPORTS = {
     "FleetMetrics": "repro.fleet",
     "FailureInjector": "repro.fleet",
     "RetryPolicy": "repro.fleet",
+    "Sentinel": "repro.sentinel",
+    "SentinelConfig": "repro.sentinel",
+    "SentinelReport": "repro.sentinel",
+    "FeedSchedule": "repro.sentinel",
+    "PolicyConfig": "repro.sentinel",
 }
 
 
@@ -135,5 +142,10 @@ __all__ = [
     "FleetMetrics",
     "FailureInjector",
     "RetryPolicy",
+    "Sentinel",
+    "SentinelConfig",
+    "SentinelReport",
+    "FeedSchedule",
+    "PolicyConfig",
     "__version__",
 ]

@@ -25,7 +25,7 @@ from repro.analysis.project import Project, SourceModule, dotted_name
 #: scope with one audited exception, the repro.par.realtime boundary
 #: (pool deadlines and respawn backoff are real infrastructure)
 CLOCK_SCOPE = ("sim/", "core/", "hypervisors/", "fleet/", "obs/", "io/",
-               "par/")
+               "par/", "sentinel/")
 
 #: fully-qualified callables that read the wall clock or block on it
 WALL_CLOCK_CALLS = frozenset({

@@ -13,6 +13,8 @@
   print the fleet-wide vulnerability-window percentiles.
 * ``hypertp trace``    — replay a seeded fleet campaign with tracing on and
   emit the Perfetto/Chrome timeline (byte-identical per seed).
+* ``hypertp sentinel`` — replay a vulnerability feed against a simulated
+  fleet and respond continuously: gate, score, transplant, return.
 * ``hypertp tcb``      — print the §4.4 TCB accounting.
 * ``hypertp lint``     — run the static verification pass over the source
   tree (UISR translation safety, codec symmetry, sim-layer hygiene).
@@ -174,6 +176,62 @@ def build_parser() -> argparse.ArgumentParser:
                        help="route the replay through the repro.par "
                             "worker pool (output is byte-identical to "
                             "--workers 1)")
+
+    sentinel = sub.add_parser(
+        "sentinel",
+        help="replay a vulnerability feed against a simulated fleet and "
+             "respond with transplant campaigns (the paper's loop, "
+             "running continuously)",
+    )
+    sentinel.add_argument("--hosts", type=int, default=20)
+    sentinel.add_argument("--vms-per-host", type=int, default=10)
+    sentinel.add_argument("--group-size", type=int, default=2)
+    sentinel.add_argument("--seed", type=int, default=42,
+                          help="root seed: feed jitter and every "
+                               "campaign's sub-seed derive from it")
+    sentinel.add_argument("--mechanism", default="hybrid",
+                          choices=("inplace", "migration", "hybrid", "auto"))
+    sentinel.add_argument("--current", type=_kind,
+                          default=HypervisorKind.XEN)
+    sentinel.add_argument("--pool", default="xen,kvm",
+                          help="comma-separated hypervisor repertoire")
+    sentinel.add_argument("--mean-gap-days", type=float, default=7.0,
+                          help="mean gap between feed advisories")
+    sentinel.add_argument("--limit", type=int, default=None,
+                          help="replay only the first N advisories")
+    sentinel.add_argument("--batch", type=float, default=0.1,
+                          help="batch-disclosure probability")
+    sentinel.add_argument("--duplicates", type=float, default=0.05,
+                          help="duplicate re-announcement probability")
+    sentinel.add_argument("--out-of-order", type=float, default=0.1,
+                          help="adjacent-delivery inversion probability")
+    sentinel.add_argument("--gate", default="critical",
+                          choices=("low", "medium", "critical"),
+                          help="minimum severity that triggers a response")
+    sentinel.add_argument("--patch-days", type=float, default=2.0,
+                          help="patch-application lag after release (days)")
+    sentinel.add_argument("--no-return", action="store_true",
+                          help="skip return transplants when patches land")
+    sentinel.add_argument("--maintenance-every-h", type=float, default=0.0,
+                          help="maintenance-window cadence in hours "
+                               "(0 = launch any time)")
+    sentinel.add_argument("--maintenance-length-h", type=float, default=0.0,
+                          help="maintenance-window length in hours")
+    sentinel.add_argument("--json", dest="json_path", metavar="FILE",
+                          help="also write the full report document as JSON")
+    sentinel.add_argument("--trace", dest="trace_path", metavar="FILE",
+                          help="also write the response-plane Perfetto/"
+                               "Chrome trace JSON")
+    sentinel.add_argument("--metrics", dest="metrics_path", metavar="FILE",
+                          help="also write the metrics-registry snapshot")
+    sentinel.add_argument("--workers", type=int, default=1,
+                          help="route the replay through the repro.par "
+                               "worker pool (output is byte-identical to "
+                               "--workers 1)")
+    sentinel.add_argument("--journal-dir", metavar="DIR",
+                          help="write-ahead journal every launched campaign "
+                               "into DIR (runs inline; incompatible with "
+                               "--workers > 1)")
 
     sub.add_parser("tcb", help="print the §4.4 TCB accounting")
 
@@ -579,6 +637,131 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_sentinel(args) -> int:
+    import json
+    import os
+
+    from repro.errors import ParError, SentinelError, VulnDBError
+    from repro.par import merge_traces, run_sentinel
+    from repro.sentinel import (
+        DAY_S,
+        FeedSchedule,
+        PolicyConfig,
+        SentinelConfig,
+    )
+
+    pool = tuple(p.strip() for p in args.pool.split(",") if p.strip())
+    try:
+        config = SentinelConfig(
+            hosts=args.hosts,
+            vms_per_host=args.vms_per_host,
+            group_size=args.group_size,
+            mechanism=args.mechanism,
+            seed=args.seed,
+            current_hypervisor=args.current.value,
+            pool=pool,
+            feed=FeedSchedule(
+                seed=args.seed,
+                mean_gap_days=args.mean_gap_days,
+                batch_probability=args.batch,
+                duplicate_probability=args.duplicates,
+                out_of_order_probability=args.out_of_order,
+                limit=args.limit,
+            ),
+            policy=PolicyConfig(
+                severity_gate=args.gate,
+                patch_application_days=args.patch_days,
+                return_transplant=not args.no_return,
+                maintenance_window_every_s=args.maintenance_every_h * 3600.0,
+                maintenance_window_length_s=args.maintenance_length_h
+                * 3600.0,
+            ),
+        )
+    except SentinelError as error:
+        print(f"sentinel: {error}", file=sys.stderr)
+        return 2
+    if args.journal_dir and args.workers > 1:
+        print("sentinel: journaled campaigns run inline; drop --workers",
+              file=sys.stderr)
+        return 2
+    try:
+        if args.journal_dir:
+            # Journal handles cannot cross the worker pipe: run inline,
+            # returning the same result shape as the pooled path.
+            from repro.obs import MetricsRegistry, Tracer
+            from repro.par.shard import spans_to_payload
+            from repro.sentinel import Sentinel
+
+            os.makedirs(args.journal_dir, exist_ok=True)
+            tracer = Tracer() if args.trace_path else None
+            registry = MetricsRegistry() if args.metrics_path else None
+            kwargs = {"journal_dir": args.journal_dir}
+            if tracer is not None:
+                kwargs["tracer"] = tracer
+            if registry is not None:
+                kwargs["registry"] = registry
+            report = Sentinel(config, **kwargs).run()
+            result = {"document": report.to_dict()}
+            if tracer is not None:
+                result["spans"] = spans_to_payload(tracer.trace)
+            if registry is not None:
+                result["registry"] = registry.snapshot()
+        else:
+            result = run_sentinel({
+                "config": config.to_payload(),
+                "trace": bool(args.trace_path),
+                "metrics": bool(args.metrics_path),
+            }, workers=args.workers)
+    except (SentinelError, VulnDBError, ParError) as error:
+        print(f"sentinel: {error}", file=sys.stderr)
+        return 2
+
+    document = result["document"]
+    counters, windows = document["counters"], document["windows"]
+    years = document["completed_at_s"] / DAY_S / 365.25
+    print(f"Sentinel replay: {counters['disclosures']} deliveries "
+          f"({counters['duplicates_ignored']} duplicates) over "
+          f"{years:.1f} simulated years, fleet of {args.hosts} hosts "
+          f"on {args.current.value}, pool {list(pool)}"
+          f"{f', {args.workers} workers' if args.workers > 1 else ''}")
+    print(f"  responses  : {counters['campaigns_launched']} campaigns, "
+          f"{counters['returns_launched']} returns, "
+          f"{counters['preemptions']} preempted, "
+          f"{counters['residual_unresolved']} residual (no safe target)")
+    transplant = windows["transplant_percentiles_days"]
+    patch = windows["patch_cycle_percentiles_days"]
+    if transplant:
+        print(f"  windows    : disclosure -> fleet-no-longer-exposed, "
+              f"{windows['transplant_count']} CVEs via transplant vs "
+              f"{windows['patch_cycle_count']} patch-cycle baselines")
+        for key in ("p50", "p95", "p99", "max"):
+            line = f"    {key:>4}: {transplant[key]:8.2f} days (transplant)"
+            if patch:
+                line += f"  vs {patch[key]:8.2f} days (patch cycle)"
+            print(line)
+    else:
+        print("  windows    : no CVE was remediated by transplant")
+    print(f"  exposure   : {windows['exposure_host_days_total']:.1f} "
+          f"host-days of open exposure accrued")
+    if args.json_path:
+        with open(args.json_path, "w") as handle:
+            handle.write(json.dumps(document, indent=2, sort_keys=True))
+        print(f"  report JSON written to {args.json_path}")
+    if args.trace_path:
+        trace = merge_traces([("sentinel", result["spans"])], prefix=False)
+        with open(args.trace_path, "w") as handle:
+            handle.write(trace.to_chrome_trace())
+        print(f"  trace JSON written to {args.trace_path}")
+    if args.metrics_path:
+        with open(args.metrics_path, "w") as handle:
+            handle.write(json.dumps(result["registry"], indent=2,
+                                    sort_keys=True))
+        print(f"  metrics JSON written to {args.metrics_path}")
+    if args.journal_dir:
+        print(f"  campaign journals written to {args.journal_dir}")
+    return 0
+
+
 def cmd_tcb(_args) -> int:
     from repro.core.tcb import HYPERTP_COMPONENTS, account
 
@@ -677,6 +860,7 @@ _COMMANDS = {
     "cluster": cmd_cluster,
     "fleet": cmd_fleet,
     "trace": cmd_trace,
+    "sentinel": cmd_sentinel,
     "tcb": cmd_tcb,
     "lint": cmd_lint,
 }

@@ -96,6 +96,11 @@ class ParError(ReproError):
     unsafe task payloads, unmergeable shard results, exhausted retries)."""
 
 
+class SentinelError(ReproError):
+    """Raised for response-plane failures (bad feed schedule, bad policy
+    knobs, a campaign the responder cannot reconcile with the inventory)."""
+
+
 class VulnDBError(ReproError):
     """Raised for vulnerability-database failures (unknown CVE, bad score)."""
 

@@ -83,6 +83,11 @@ class FleetConfig:
     current_hypervisor: str = "xen"
     pool: Tuple[str, ...] = ("xen", "kvm")
     disclosure_at_s: float = 0.0
+    #: pin the destination hypervisor instead of asking the advisor.  A
+    #: control plane that already scored its target (repro.sentinel) — or
+    #: a *return* transplant, where no flaw forces the move — sets this;
+    #: None keeps the classic advise-then-transplant path byte-identical.
+    target_override: Optional[str] = None
 
     def __post_init__(self):
         if self.hosts < 1:
@@ -105,6 +110,12 @@ class FleetConfig:
         if self.mechanism not in valid:
             raise FleetError(
                 f"unknown mechanism {self.mechanism!r}; pick from {valid}"
+            )
+        if self.target_override is not None \
+                and self.target_override == self.current_hypervisor:
+            raise FleetError(
+                f"target override {self.target_override!r} is already the "
+                f"current hypervisor"
             )
 
 
@@ -181,16 +192,24 @@ class FleetController:
         # layer never imports repro.journal (which imports fleet lazily).
         self.journal = journal
         self.source_kind = HypervisorKind(config.current_hypervisor)
-        advisor = TransplantAdvisor(self.db, hypervisor_pool=list(config.pool))
-        self.advice = advisor.advise_or_raise(
-            config.trigger_cve, config.current_hypervisor,
-        )
-        if not self.advice.transplant_needed:
-            raise FleetError(
-                f"{config.trigger_cve} does not require a transplant off "
-                f"{config.current_hypervisor}"
+        if config.target_override is not None:
+            # The caller (a policy layer such as repro.sentinel) already
+            # validated the destination against its full open-CVE view;
+            # re-advising here could silently pick a different target.
+            self.advice = None
+            self.target_kind = HypervisorKind(config.target_override)
+        else:
+            advisor = TransplantAdvisor(self.db,
+                                        hypervisor_pool=list(config.pool))
+            self.advice = advisor.advise_or_raise(
+                config.trigger_cve, config.current_hypervisor,
             )
-        self.target_kind = HypervisorKind(self.advice.recommended_target)
+            if not self.advice.transplant_needed:
+                raise FleetError(
+                    f"{config.trigger_cve} does not require a transplant off "
+                    f"{config.current_hypervisor}"
+                )
+            self.target_kind = HypervisorKind(self.advice.recommended_target)
         self._machine = Machine(node_spec, name="fleet-reference")
         self._link_rate = cluster_link_rate(node_spec)
         # The one cost path: per-host durations come from the same staged

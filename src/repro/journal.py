@@ -722,6 +722,8 @@ def campaign_meta(config, injector, retry) -> Dict:
     }
     if config.mechanism != "hybrid":
         meta["config"]["mechanism"] = config.mechanism
+    if config.target_override is not None:
+        meta["config"]["target_override"] = config.target_override
     return meta
 
 

@@ -23,7 +23,12 @@ window — so the reproduction gets one first-class observability layer:
 span closes).
 """
 
-from repro.obs.builders import trace_fleet, trace_inplace, trace_migration
+from repro.obs.builders import (
+    trace_fleet,
+    trace_inplace,
+    trace_migration,
+    trace_sentinel,
+)
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -49,4 +54,5 @@ __all__ = [
     "trace_inplace",
     "trace_migration",
     "trace_fleet",
+    "trace_sentinel",
 ]

@@ -59,6 +59,51 @@ def trace_migration(report, start_s: float = 0.0) -> Trace:
     return trace
 
 
+def trace_sentinel(cve_states, campaigns, *, end_s: float) -> Trace:
+    """Build the response-plane timeline of one sentinel run.
+
+    ``cve_states`` are objects with ``cve_id``, ``disclosed_at_s``,
+    ``remediated_at_s``, ``closed_at_s``, ``severity`` and ``remediation``
+    attributes (the shape of :class:`repro.sentinel.responder.CVEState`),
+    in sorted-id order; ``campaigns`` have ``index``, ``kind``,
+    ``source``, ``target``, ``launched_at_s``, ``completed_at_s`` and
+    ``preempted_at_s`` (:class:`repro.sentinel.responder.CampaignRecord`).
+    One track per CVE carries its open-exposure window; one track per
+    campaign carries its execution span, all under a run envelope on the
+    ``sentinel`` track.
+    """
+    trace = Trace()
+    trace.add(Span("feed replay", "sentinel", 0.0, end_s, track="sentinel"))
+    for state in cve_states:
+        until = state.remediated_at_s
+        if until is None:
+            until = state.closed_at_s if state.closed_at_s is not None \
+                else end_s
+        trace.add(Span(
+            state.cve_id, "cve-window", state.disclosed_at_s, until,
+            track=f"cve/{state.cve_id}",
+            args={"severity": state.severity,
+                  "remediation": state.remediation},
+        ))
+    for campaign in campaigns:
+        if campaign.launched_at_s is None:
+            continue
+        finished = campaign.completed_at_s
+        if finished is None:
+            finished = campaign.preempted_at_s \
+                if campaign.preempted_at_s is not None else end_s
+        args = {"source": campaign.source, "target": campaign.target}
+        if campaign.preempted_at_s is not None:
+            args["preempted"] = True
+        trace.add(Span(
+            f"{campaign.kind} {campaign.source}->{campaign.target}",
+            "campaign", campaign.launched_at_s, finished,
+            track=f"sentinel/campaign {campaign.index}",
+            args=args,
+        ))
+    return trace
+
+
 def trace_fleet(transitions, *, host_waves: Optional[Dict[str, int]] = None,
                 start_s: float = 0.0, end_s: Optional[float] = None,
                 campaign: str = "campaign") -> Trace:

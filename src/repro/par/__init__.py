@@ -40,6 +40,8 @@ _EXPORTS = {
     "ParallelRunner": "repro.par.runner",
     "fleet_campaign_task": "repro.par.runner",
     "run_fleet_campaign": "repro.par.runner",
+    "sentinel_task": "repro.par.runner",
+    "run_sentinel": "repro.par.runner",
     "derive_seed": "repro.par.shard",
     "merge_snapshots": "repro.par.shard",
     "merge_traces": "repro.par.shard",
@@ -77,6 +79,8 @@ __all__ = [
     "ParallelRunner",
     "fleet_campaign_task",
     "run_fleet_campaign",
+    "sentinel_task",
+    "run_sentinel",
     "derive_seed",
     "merge_snapshots",
     "merge_traces",

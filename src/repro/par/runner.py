@@ -119,6 +119,59 @@ def fleet_campaign_task(payload: Dict[str, Any]) -> Dict[str, Any]:
     return result
 
 
+def sentinel_task(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one seeded sentinel feed replay and return plain-dict results.
+
+    ``payload`` keys:
+
+    * ``config`` — :class:`~repro.sentinel.responder.SentinelConfig`
+      payload (the ``to_payload`` shape: nested ``feed``/``policy``
+      dicts, a plain-list pool);
+    * ``trace`` — collect response-plane spans and return them as
+      payloads;
+    * ``metrics`` — publish into a registry and return its snapshot.
+
+    Same discipline as :func:`fleet_campaign_task`: clock, engine,
+    tracer and registry are built here, in the executing process; the
+    returned ``document`` is exactly ``SentinelReport.to_dict()``, so
+    serial and parallel runs serialize to identical bytes.
+    """
+    from repro.obs import MetricsRegistry, Tracer
+    from repro.par.shard import spans_to_payload
+    from repro.sentinel import Sentinel, SentinelConfig
+
+    config = SentinelConfig.from_payload(payload.get("config", {}))
+    tracer = Tracer() if payload.get("trace") else None
+    registry = MetricsRegistry() if payload.get("metrics") else None
+
+    kwargs: Dict[str, Any] = {}
+    if tracer is not None:
+        kwargs["tracer"] = tracer
+    if registry is not None:
+        kwargs["registry"] = registry
+    report = Sentinel(config, **kwargs).run()
+
+    result: Dict[str, Any] = {"document": report.to_dict()}
+    if tracer is not None:
+        result["spans"] = spans_to_payload(tracer.trace)
+    if registry is not None:
+        result["registry"] = registry.snapshot()
+    return result
+
+
+def run_sentinel(payload: Dict[str, Any], workers: int = 1,
+                 task_timeout_s: float = 600.0) -> Dict[str, Any]:
+    """One sentinel replay, optionally routed through the worker pool.
+
+    Mirrors :func:`run_fleet_campaign`: ``workers <= 1`` runs inline;
+    more routes the single task through a subprocess, and the output
+    must be byte-identical either way.
+    """
+    runner = ParallelRunner(workers=workers, task_timeout_s=task_timeout_s)
+    return runner.map_tasks(sentinel_task, [payload],
+                            labels=["sentinel"])[0]
+
+
 def run_fleet_campaign(payload: Dict[str, Any], workers: int = 1,
                        task_timeout_s: float = 600.0) -> Dict[str, Any]:
     """One campaign, optionally routed through the worker pool.

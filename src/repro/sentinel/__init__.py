@@ -1,0 +1,49 @@
+"""``repro.sentinel`` — the event-driven response plane.
+
+Replays a vulnerability feed against a simulated fleet and runs the
+paper's operational loop continuously: gate each disclosure, score a
+transplant target, launch fleet campaigns, preempt them when a new
+critical flaw invalidates the target, and transplant back once the patch
+cycle closes the flaw.  The output is the per-CVE end-to-end
+disclosure->remediated window distribution (§2.2, Fig. 1), measured.
+"""
+
+from repro.sentinel.feedstream import (
+    DAY_S,
+    DisclosureEvent,
+    FeedSchedule,
+    build_feed,
+    feed_statistics,
+)
+from repro.sentinel.inventory import FleetInventory
+from repro.sentinel.policy import PolicyConfig, ResponsePolicy, TargetChoice
+from repro.sentinel.report import (
+    SENTINEL_WINDOW_BUCKETS,
+    SentinelReport,
+    build_report,
+)
+from repro.sentinel.responder import (
+    CampaignRecord,
+    CVEState,
+    Sentinel,
+    SentinelConfig,
+)
+
+__all__ = [
+    "DAY_S",
+    "DisclosureEvent",
+    "FeedSchedule",
+    "build_feed",
+    "feed_statistics",
+    "FleetInventory",
+    "PolicyConfig",
+    "ResponsePolicy",
+    "TargetChoice",
+    "SENTINEL_WINDOW_BUCKETS",
+    "SentinelReport",
+    "build_report",
+    "CampaignRecord",
+    "CVEState",
+    "Sentinel",
+    "SentinelConfig",
+]

@@ -1,0 +1,155 @@
+"""Replaying a vulnerability feed as timed disclosure events.
+
+The paper's timeline (§2.2, Fig. 1) starts at *disclosure*: the moment an
+advisory reaches the operator.  Real feeds are messy — advisories arrive
+in bursts when an embargo lifts, mirrors deliver them out of publication
+order, and the same CVE is re-announced by several trackers — so the
+sentinel's feed layer models all three, deterministically per seed.
+
+:func:`build_feed` is a pure function from ``(database, schedule)`` to a
+delivery-ordered list of :class:`DisclosureEvent`; the responder replays
+the list on the sim engine.  Purity is the determinism contract: the same
+seed produces the same feed in any process, which is what makes sentinel
+reports byte-identical across reruns and worker counts.
+"""
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import SentinelError
+from repro.vulndb.data import VulnerabilityDatabase
+
+#: one simulated day, the unit the vulndb timeline speaks in
+DAY_S = 86400.0
+
+
+@dataclass(frozen=True)
+class FeedSchedule:
+    """Shape of the replayed feed (all knobs deterministic per seed)."""
+
+    seed: int = 42
+    #: mean gap between consecutive advisories (feed density)
+    mean_gap_days: float = 7.0
+    #: gap jitter: each gap is drawn from ``mean * [1-j, 1+j]``
+    jitter: float = 0.5
+    #: probability the next advisory lands in the same batch (gap 0) —
+    #: embargo lifts and quarterly roundups disclose several CVEs at once
+    batch_probability: float = 0.1
+    #: probability an advisory is re-delivered later as a duplicate
+    duplicate_probability: float = 0.05
+    #: probability two consecutive advisories swap delivery times —
+    #: the feed then delivers them out of publication order
+    out_of_order_probability: float = 0.1
+    #: cap on distinct advisories replayed (None = the whole database)
+    limit: Optional[int] = None
+    #: sim time of the first delivery
+    start_s: float = 0.0
+
+    def __post_init__(self):
+        if self.mean_gap_days <= 0:
+            raise SentinelError(
+                f"mean gap must be positive, got {self.mean_gap_days}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise SentinelError(f"jitter out of [0,1]: {self.jitter}")
+        for name in ("batch_probability", "duplicate_probability",
+                     "out_of_order_probability"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise SentinelError(f"{name} out of [0,1]: {value}")
+        if self.limit is not None and self.limit < 1:
+            raise SentinelError(f"limit must be >= 1 or None, got {self.limit}")
+        if self.start_s < 0:
+            raise SentinelError(f"start_s must be >= 0, got {self.start_s}")
+
+
+@dataclass(frozen=True)
+class DisclosureEvent:
+    """One advisory delivery: a CVE id arriving at the operator."""
+
+    time_s: float
+    cve_id: str
+    #: a re-announcement of an advisory delivered earlier
+    duplicate: bool = False
+
+
+def build_feed(db: VulnerabilityDatabase,
+               schedule: FeedSchedule) -> List[DisclosureEvent]:
+    """The delivery-ordered disclosure feed for ``db`` under ``schedule``.
+
+    Publication order is the database's ``(year, cve_id)`` order; delivery
+    order is publication order perturbed by batching, duplicate
+    re-announcements and adjacent-pair inversions, all drawn from one
+    seeded stream.
+    """
+    records = sorted(db.all(), key=lambda r: (r.year, r.cve_id))
+    if schedule.limit is not None:
+        records = records[:schedule.limit]
+    if not records:
+        raise SentinelError("the feed has no advisories to replay")
+
+    rng = random.Random(f"sentinel-feed:{schedule.seed}")
+    times: List[float] = []
+    now = schedule.start_s
+    for index in range(len(records)):
+        if index > 0:
+            if rng.random() < schedule.batch_probability:
+                gap = 0.0
+            else:
+                spread = schedule.jitter * (2.0 * rng.random() - 1.0)
+                gap = schedule.mean_gap_days * DAY_S * (1.0 + spread)
+            now += gap
+        times.append(now)
+
+    # Adjacent-pair inversions: swapping the two *times* makes delivery
+    # order disagree with publication order without moving the envelope.
+    for index in range(len(records) - 1):
+        if times[index] == times[index + 1]:
+            continue  # batched pairs have no order to invert
+        if rng.random() < schedule.out_of_order_probability:
+            times[index], times[index + 1] = times[index + 1], times[index]
+
+    events = [DisclosureEvent(time_s=times[i], cve_id=records[i].cve_id)
+              for i in range(len(records))]
+
+    # Duplicate re-announcements trail the original by a fraction of the
+    # mean gap (a mirror picking the advisory up later the same cycle).
+    duplicates: List[DisclosureEvent] = []
+    for event in events:
+        if rng.random() < schedule.duplicate_probability:
+            lag = (0.25 + 0.75 * rng.random()) * schedule.mean_gap_days * DAY_S
+            duplicates.append(DisclosureEvent(
+                time_s=event.time_s + lag, cve_id=event.cve_id,
+                duplicate=True,
+            ))
+    events.extend(duplicates)
+
+    # Stable sort: simultaneous deliveries keep generation order, so the
+    # replayed interleaving is a pure function of (db, schedule).
+    events.sort(key=lambda e: e.time_s)
+    return events
+
+
+def feed_statistics(events: List[DisclosureEvent],
+                    db: VulnerabilityDatabase) -> Dict[str, object]:
+    """Deterministic summary of a built feed for the sentinel report."""
+    originals = [e for e in events if not e.duplicate]
+    by_id = {r.cve_id: r for r in db.all()}
+    publication = sorted(
+        originals, key=lambda e: (by_id[e.cve_id].year, e.cve_id))
+    delivered_rank = {e.cve_id: i for i, e in enumerate(originals)}
+    inversions = sum(
+        1 for a, b in zip(publication, publication[1:])
+        if delivered_rank[a.cve_id] > delivered_rank[b.cve_id]
+    )
+    batched = sum(1 for a, b in zip(originals, originals[1:])
+                  if a.time_s == b.time_s)
+    return {
+        "advisories": len(originals),
+        "duplicates": sum(1 for e in events if e.duplicate),
+        "batched_pairs": batched,
+        "out_of_order": inversions,
+        "first_at_s": originals[0].time_s if originals else 0.0,
+        "last_at_s": originals[-1].time_s if originals else 0.0,
+    }

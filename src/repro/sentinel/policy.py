@@ -1,0 +1,197 @@
+"""Response policy: whether, when, and where to transplant.
+
+The paper's operational loop (§1, §3.1) is a policy, not a mechanism:
+critical flaw lands -> pick an unaffected hypervisor from the repertoire
+-> transplant the fleet -> transplant back once the patch ships.  This
+module encodes that loop's decision points so the responder stays a thin
+event pump:
+
+* **severity gate** — only flaws at or above the configured band trigger
+  a response; the rest ride the ordinary patch cycle.
+* **target scoring** — candidates must be *safe* (no open critical flaw
+  affects them, the :class:`~repro.vulndb.advisor.TransplantAdvisor`
+  check) and among safe candidates the one escaping the largest fraction
+  of the source's recorded flaws wins
+  (:func:`~repro.vulndb.surface.escape_report`), pool order breaking
+  ties.
+* **launch timing** — maintenance windows and a concurrent-campaign cap
+  delay a decided response without changing it.
+* **return scheduling** — each handled CVE carries a patch-cycle timer
+  (``days_to_patch`` + the datacenter's application lag); when it fires
+  the flaw closes and, if configured, hosts transplant back.
+"""
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import SentinelError
+from repro.vulndb.advisor import TransplantAdvisor
+from repro.vulndb.cve import CVERecord, Severity
+from repro.vulndb.data import VulnerabilityDatabase
+from repro.vulndb.surface import escape_report
+
+DAY_S = 86400.0
+
+_SEVERITY_RANK = {
+    Severity.LOW: 0,
+    Severity.MEDIUM: 1,
+    Severity.CRITICAL: 2,
+}
+
+
+@dataclass(frozen=True)
+class PolicyConfig:
+    """Knobs for the response policy (all deterministic)."""
+
+    #: minimum severity band that triggers a transplant response
+    severity_gate: str = "critical"
+    #: datacenter lag between patch release and fleet-wide application
+    patch_application_days: float = 2.0
+    #: patch-cycle length assumed for CVEs with no recorded timeline
+    default_days_to_patch: float = 60.0
+    #: maintenance-window cadence; 0 disables windowing (launch any time)
+    maintenance_window_every_s: float = 0.0
+    #: how long each maintenance window stays open
+    maintenance_window_length_s: float = 0.0
+    #: per-host VM slots that must stay free for a campaign to launch
+    min_free_slots: int = 0
+    #: campaigns allowed in flight at once (queue beyond this)
+    max_concurrent_campaigns: int = 1
+    #: transplant back to the preferred hypervisor once the patch lands
+    return_transplant: bool = True
+    #: where returns go; None = the fleet's configured baseline hypervisor
+    preferred_hypervisor: Optional[str] = None
+
+    def __post_init__(self):
+        try:
+            Severity(self.severity_gate)
+        except ValueError:
+            raise SentinelError(
+                f"unknown severity gate {self.severity_gate!r}"
+            ) from None
+        if self.patch_application_days < 0:
+            raise SentinelError("patch application lag cannot be negative")
+        if self.default_days_to_patch <= 0:
+            raise SentinelError("default patch cycle must be positive")
+        if self.maintenance_window_every_s < 0:
+            raise SentinelError("maintenance cadence cannot be negative")
+        if self.maintenance_window_length_s < 0:
+            raise SentinelError("maintenance window length cannot be negative")
+        if self.maintenance_window_every_s > 0 \
+                and self.maintenance_window_length_s <= 0:
+            raise SentinelError(
+                "maintenance windows need a positive length"
+            )
+        if self.maintenance_window_length_s > 0 \
+                and self.maintenance_window_every_s > 0 \
+                and self.maintenance_window_length_s \
+                > self.maintenance_window_every_s:
+            raise SentinelError(
+                "maintenance window cannot outlast its cadence"
+            )
+        if self.min_free_slots < 0:
+            raise SentinelError("min_free_slots cannot be negative")
+        if self.max_concurrent_campaigns < 1:
+            raise SentinelError("need at least one concurrent campaign")
+
+
+@dataclass(frozen=True)
+class TargetChoice:
+    """The policy's scored answer for one (source kind, trigger) pair."""
+
+    target: str
+    escape_fraction: float
+    #: pool candidates rejected, as sorted "kind: reason" strings
+    rejected: Tuple[str, ...]
+
+
+class ResponsePolicy:
+    """Pure decision logic over a database and a hypervisor pool."""
+
+    def __init__(self, config: PolicyConfig, db: VulnerabilityDatabase,
+                 pool: Sequence[str]):
+        self.config = config
+        self.db = db
+        self.pool = list(pool)
+        self._advisor = TransplantAdvisor(db, hypervisor_pool=self.pool)
+        self._gate_rank = _SEVERITY_RANK[Severity(config.severity_gate)]
+
+    # ------------------------------------------------------------------
+    # severity gate
+
+    def should_respond(self, record: CVERecord, current_kind: str) -> bool:
+        """Does this disclosure warrant a transplant off ``current_kind``?"""
+        if not record.affects(current_kind):
+            return False
+        return _SEVERITY_RANK[record.severity] >= self._gate_rank
+
+    # ------------------------------------------------------------------
+    # target scoring
+
+    def is_safe(self, kind: str, open_cves: Sequence[str]) -> bool:
+        """No open critical flaw affects ``kind`` (the advisor's rule)."""
+        return not self._advisor.open_critical_flaws(kind, open_cves)
+
+    def choose_target(self, current_kind: str,
+                      open_cves: Sequence[str]) -> Optional[TargetChoice]:
+        """Best safe destination for hosts currently on ``current_kind``.
+
+        Safety is the advisor's rule — no open *critical* flaw may affect
+        the candidate.  Among safe candidates the highest
+        ``escape_fraction`` (share of the source's recorded flaws the
+        move escapes) wins; strict pool order breaks exact ties, so the
+        choice is deterministic for any pool.  Returns None when nothing
+        in the pool is safe (the paper's residual-risk case: a common
+        flaw pins the whole repertoire).
+        """
+        best: Optional[TargetChoice] = None
+        rejected: List[str] = []
+        for candidate in self.pool:
+            if candidate == current_kind:
+                continue
+            blocking = self._advisor.open_critical_flaws(candidate, open_cves)
+            if blocking:
+                rejected.append(
+                    candidate + ": vulnerable to "
+                    + ", ".join(sorted(r.cve_id for r in blocking))
+                )
+                continue
+            fraction = escape_report(
+                self.db, current_kind, candidate,
+                severity=Severity.CRITICAL,
+            ).escape_fraction
+            if best is None or fraction > best.escape_fraction:
+                best = TargetChoice(target=candidate,
+                                    escape_fraction=fraction,
+                                    rejected=())
+        if best is None:
+            return None
+        return TargetChoice(target=best.target,
+                            escape_fraction=best.escape_fraction,
+                            rejected=tuple(sorted(rejected)))
+
+    # ------------------------------------------------------------------
+    # launch timing
+
+    def launch_at(self, now_s: float) -> float:
+        """Earliest time >= now the maintenance policy allows a launch."""
+        every = self.config.maintenance_window_every_s
+        if every <= 0:
+            return now_s
+        length = self.config.maintenance_window_length_s
+        offset = now_s % every
+        if offset < length:
+            return now_s  # inside the current window
+        return now_s + (every - offset)  # wait for the next one to open
+
+    # ------------------------------------------------------------------
+    # return scheduling
+
+    def patch_closes_at(self, record: CVERecord,
+                        disclosed_at_s: float) -> float:
+        """When the ordinary patch cycle closes this flaw fleet-wide."""
+        release_days = record.days_to_patch
+        if release_days is None:
+            release_days = self.config.default_days_to_patch
+        total_days = release_days + self.config.patch_application_days
+        return disclosed_at_s + total_days * DAY_S

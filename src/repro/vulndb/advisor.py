@@ -53,6 +53,14 @@ class TransplantAdvisor:
 
         ``open_cves`` lists other currently-unpatched CVEs the operator is
         tracking; a candidate target must be clean against all of them.
+
+        Tie-breaking is deterministic by construction: candidates are
+        evaluated in **pool order** (the order the operator listed the
+        repertoire in) and the first safe one wins.  When several targets
+        are equally safe, pool position is therefore the operator's
+        preference ranking — callers that want a different ranking (e.g.
+        attack-surface escape-fraction scoring, as ``repro.sentinel``
+        does) evaluate candidates themselves and pass the result down.
         """
         trigger = self.db.get(trigger_cve)
         advice = TransplantAdvice(

@@ -87,9 +87,19 @@ def import_feed(text: Union[str, bytes]) -> VulnerabilityDatabase:
 
 
 def merge_feeds(*databases: VulnerabilityDatabase) -> VulnerabilityDatabase:
-    """Union several databases; later feeds override earlier on id clash."""
+    """Union several databases; later feeds override earlier on id clash.
+
+    The merged record order is sorted by CVE id, so merging the same set
+    of feeds in any order produces the same database — and the same
+    ``export_feed`` bytes — whenever clashing ids carry equal records.
+    (When clashing ids carry *different* records, later-feed-wins is the
+    one deliberately order-dependent rule, mirroring how operators layer
+    a curated override feed on top of a bulk import.)
+    """
     merged: Dict[str, CVERecord] = {}
     for db in databases:
         for record in db.all():
             merged[record.cve_id] = record
-    return VulnerabilityDatabase(list(merged.values()))
+    return VulnerabilityDatabase(
+        [merged[cve_id] for cve_id in sorted(merged)]
+    )

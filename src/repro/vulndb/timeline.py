@@ -30,8 +30,12 @@ class VulnerabilityWindow:
 
     def mitigated_days(self, transplant_hours: float) -> float:
         """Exposure when HyperTP covers the window (Fig. 1b): just the time
-        to decide + execute the transplant."""
-        return transplant_hours / 24.0
+        to decide + execute the transplant, clamped at the unmitigated
+        window — a transplant slower than the patch cycle never *adds*
+        exposure, because the operator would simply patch instead."""
+        if transplant_hours < 0:
+            raise VulnDBError("transplant duration cannot be negative")
+        return min(transplant_hours / 24.0, self.total_days)
 
 
 @dataclass

@@ -186,3 +186,65 @@ class TestTraceCommand:
     def test_medium_cve_rejected(self, capsys):
         assert main(["trace", "--hosts", "4",
                      "--cve", "CVE-2015-8104"]) == 2
+
+
+class TestSentinelCommand:
+    ARGS = ["sentinel", "--hosts", "4", "--vms-per-host", "4",
+            "--limit", "30", "--seed", "11"]
+
+    def test_default_run(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "Sentinel replay" in out
+        assert "responses" in out
+        assert "windows" in out
+
+    def test_byte_identical_per_seed(self, capsys):
+        assert main(self.ARGS) == 0
+        first = capsys.readouterr().out
+        assert main(self.ARGS) == 0
+        assert capsys.readouterr().out == first
+
+    def test_workers_output_identical(self, tmp_path, capsys):
+        import filecmp
+
+        serial = tmp_path / "serial.json"
+        pooled = tmp_path / "pooled.json"
+        assert main([*self.ARGS, "--json", str(serial)]) == 0
+        assert main([*self.ARGS, "--workers", "2",
+                     "--json", str(pooled)]) == 0
+        assert filecmp.cmp(serial, pooled, shallow=False)
+
+    def test_json_report_written(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "sentinel.json"
+        assert main([*self.ARGS, "--json", str(path)]) == 0
+        document = json.loads(path.read_text())
+        assert document["format"] == "hypertp-sentinel-report"
+        assert document["inventory"]["open_cves"] == []
+
+    def test_trace_and_metrics_files(self, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.json"
+        assert main([*self.ARGS, "--trace", str(trace_path),
+                     "--metrics", str(metrics_path)]) == 0
+        trace = json.loads(trace_path.read_text())
+        assert any(e.get("name") == "feed replay"
+                   for e in trace["traceEvents"])
+        snapshot = json.loads(metrics_path.read_text())
+        assert "sentinel_disclosures_total" in snapshot["metrics"]
+
+    def test_journal_dir_runs_inline(self, tmp_path, capsys):
+        journal_dir = tmp_path / "journals"
+        assert main([*self.ARGS, "--journal-dir", str(journal_dir)]) == 0
+        assert any(p.suffix == ".journal" for p in journal_dir.iterdir())
+
+    def test_journal_dir_rejects_workers(self, tmp_path, capsys):
+        assert main([*self.ARGS, "--journal-dir", str(tmp_path / "j"),
+                     "--workers", "2"]) == 2
+
+    def test_bad_pool_rejected(self, capsys):
+        assert main(["sentinel", "--pool", "kvm", "--current", "xen"]) == 2

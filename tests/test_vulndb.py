@@ -145,6 +145,14 @@ class TestTimeline:
         assert window.mitigated_days(transplant_hours=1.0) < 0.1
         assert window.mitigated_days(1.0) < window.total_days
 
+    def test_mitigated_days_clamped_at_total(self, db):
+        # Regression: a transplant slower than the patch cycle itself
+        # must not report a window *longer* than doing nothing.
+        for window in windows_for(db, patch_application_days=2):
+            absurd = window.mitigated_days(
+                transplant_hours=window.total_days * 24 * 10)
+            assert absurd == window.total_days
+
     def test_negative_delay_rejected(self, db):
         with pytest.raises(VulnDBError):
             windows_for(db, patch_application_days=-1)
@@ -200,3 +208,30 @@ class TestAdvisor:
     def test_empty_pool_rejected(self, db):
         with pytest.raises(VulnDBError):
             TransplantAdvisor(db, hypervisor_pool=())
+
+    def test_advise_never_raises_for_any_critical_cve(self, db):
+        # Property: ``advise`` is total over the whole dataset — every
+        # critical flaw, from either incumbent, yields a well-formed
+        # answer (a clean target, or an explicit rejection per candidate).
+        advisor = TransplantAdvisor(db)
+        for current in ("xen", "kvm"):
+            for record in db.affecting(current, Severity.CRITICAL):
+                advice = advisor.advise(record.cve_id, current)
+                assert advice.transplant_needed
+                if advice.recommended_target is not None:
+                    assert not record.affects(advice.recommended_target)
+                else:
+                    candidates = [k for k in advisor.pool if k != current]
+                    assert set(advice.rejected) == set(candidates)
+
+    def test_tie_break_is_pool_order(self, db):
+        # CVE-2016-6258 is xen-only, so kvm and nova are equally safe:
+        # whichever the operator listed first wins, documented behavior.
+        first_kvm = TransplantAdvisor(db, hypervisor_pool=("xen", "kvm",
+                                                           "nova"))
+        assert first_kvm.advise("CVE-2016-6258",
+                                "xen").recommended_target == "kvm"
+        first_nova = TransplantAdvisor(db, hypervisor_pool=("xen", "nova",
+                                                            "kvm"))
+        assert first_nova.advise("CVE-2016-6258",
+                                 "xen").recommended_target == "nova"

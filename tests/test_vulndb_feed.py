@@ -27,6 +27,13 @@ class TestRoundtrip:
         # Table 1 regenerates identically from the re-imported feed.
         assert yearly_counts(restored) == yearly_counts(db)
 
+    def test_export_import_export_byte_identical(self):
+        # The full determinism loop: exported bytes survive a round trip
+        # exactly, so feeds can be diffed and content-addressed.
+        first = export_feed(load_default_database())
+        second = export_feed(import_feed(first))
+        assert second == first
+
     def test_record_dict_roundtrip_with_vector(self):
         record = CVERecord(
             cve_id="CVE-2020-0001", year=2020,
@@ -85,6 +92,21 @@ class TestMerge:
                              self._mini_db("CVE-A", 4.0))
         assert len(merged) == 1
         assert merged.get("CVE-A").score == 4.0
+
+    def test_merge_is_order_independent_without_clashes(self):
+        # Disjoint feeds merge to the same database — and the same
+        # exported bytes — in any order.
+        a = self._mini_db("CVE-A", 8.0)
+        b = self._mini_db("CVE-B", 5.0)
+        c = self._mini_db("CVE-C", 9.1)
+        assert export_feed(merge_feeds(a, b, c)) == \
+            export_feed(merge_feeds(c, a, b)) == \
+            export_feed(merge_feeds(b, c, a))
+
+    def test_merged_order_is_sorted_by_id(self):
+        merged = merge_feeds(self._mini_db("CVE-Z", 8.0),
+                             self._mini_db("CVE-A", 5.0))
+        assert [r.cve_id for r in merged.all()] == ["CVE-A", "CVE-Z"]
 
     def test_operator_feed_extends_default(self):
         db = load_default_database()
